@@ -1,0 +1,121 @@
+"""E16 -- Ablations over the design choices DESIGN.md calls out.
+
+* **Tile side k** (deterministic): the paper pins k = ceil(log2(1+3 p_max));
+  smaller tiles change the sketch granularity / detailed-routing loss
+  trade-off.
+* **Sparsification gamma** (randomized): the paper's 200 is a Chernoff
+  artifact; the sweep shows throughput ~ 1/gamma until the load cap bites.
+* **Classify-and-select**: serving both classes by coin vs pinning one.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.metrics import evaluate_plan
+from repro.analysis.tables import format_table
+from repro.baselines.offline import offline_bound
+from repro.core.deterministic import DeterministicRouter
+from repro.core.randomized import RandomizedLineRouter
+from repro.network.topology import LineNetwork
+from repro.util.rng import spawn_generators
+from repro.workloads.uniform import uniform_requests
+
+
+def run_tile_side_ablation():
+    net = LineNetwork(32, buffer_size=3, capacity=3)
+    horizon = 128
+    paper_k = net.tile_side_k()
+    rows = []
+    for k in (4, 8, paper_k, 20):
+        ratios = []
+        for rng in spawn_generators(5, 3):
+            reqs = uniform_requests(net, 120, 32, rng=rng)
+            plan = DeterministicRouter(net, horizon, k=k).route(reqs)
+            ev = evaluate_plan(net, plan, reqs, horizon)
+            ratios.append(ev.ratio)
+        rows.append([k, k == paper_k, sum(ratios) / len(ratios)])
+    return rows
+
+
+def run_gamma_ablation():
+    net = LineNetwork(64, buffer_size=1, capacity=1)
+    horizon = 256
+    rows = []
+    for gamma in (0.5, 2.0, 8.0, 50.0, 200.0):
+        tputs, bounds = [], []
+        for rng in spawn_generators(13, 6):
+            reqs = uniform_requests(net, 200, 64, rng=rng)
+            router = RandomizedLineRouter(
+                net, horizon, rng=rng, gamma=gamma, force_class="far"
+            )
+            plan = router.route(reqs)
+            tputs.append(plan.throughput)
+            bounds.append(offline_bound(net, reqs, horizon))
+        rows.append([
+            gamma, router.params.lam,
+            sum(tputs) / len(tputs),
+            (sum(bounds) / len(bounds)) / max(1e-9, sum(tputs) / len(tputs)),
+        ])
+    return rows
+
+
+def run_classify_ablation():
+    net = LineNetwork(64, buffer_size=1, capacity=1)
+    horizon = 256
+    rows = []
+    for mode in (None, "far", "near"):
+        tputs = []
+        for rng in spawn_generators(29, 8):
+            reqs = uniform_requests(net, 200, 64, rng=rng)
+            router = RandomizedLineRouter(
+                net, horizon, rng=rng, lam=0.5, force_class=mode
+            )
+            tputs.append(router.route(reqs).throughput)
+        rows.append([mode or "coin", sum(tputs) / len(tputs)])
+    return rows
+
+
+def test_tile_side(once):
+    rows = once(run_tile_side_ablation)
+    emit(
+        "E16_tile_side",
+        format_table(
+            ["k", "paper?", "mean ratio"],
+            rows,
+            title="E16 -- deterministic ratio vs tile side k",
+        ),
+    )
+    assert all(r[2] >= 1.0 for r in rows)
+
+
+def test_gamma(once):
+    rows = once(run_gamma_ablation)
+    emit(
+        "E16_gamma",
+        format_table(
+            ["gamma", "lambda", "E[throughput]", "E[ratio]"],
+            rows,
+            title="E16 -- randomized throughput vs sparsification constant "
+            "(paper gamma = 200)",
+        ),
+    )
+    # throughput decreases as gamma grows (lambda shrinks)
+    tputs = [r[2] for r in rows]
+    assert tputs[0] >= tputs[-1]
+
+
+def test_classify_and_select(once):
+    rows = once(run_classify_ablation)
+    emit(
+        "E16_classify",
+        format_table(
+            ["class", "E[throughput]"],
+            rows,
+            title="E16 -- classify-and-select: fair coin vs pinned class",
+        ),
+    )
+    by = {r[0]: r[1] for r in rows}
+    # the coin averages the two pinned classes (within seed noise)
+    lo, hi = sorted([by["far"], by["near"]])
+    assert lo * 0.5 - 3 <= by["coin"] <= hi * 1.5 + 3

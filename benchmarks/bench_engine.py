@@ -1,0 +1,67 @@
+"""Performance micro-benchmarks for the substrate (profiling targets).
+
+Per the hpc-parallel guides ("no optimization without measuring"), these
+pin the throughput of the hot paths: the synchronous step engine, the
+space-time load ledger, Dinic, and the deterministic pipeline end to end.
+They carry no paper claim -- they exist so regressions in the substrate
+are visible.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.nearest_to_go import NearestToGoPolicy
+from repro.core.deterministic import DeterministicRouter
+from repro.network.simulator import Simulator
+from repro.network.topology import LineNetwork
+from repro.packing.maxflow import throughput_upper_bound
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.workloads.uniform import uniform_requests
+
+
+def test_simulator_step_rate(benchmark):
+    net = LineNetwork(64, buffer_size=2, capacity=2)
+    reqs = uniform_requests(net, 300, 128, rng=0)
+
+    def run():
+        return Simulator(net, NearestToGoPolicy()).run(reqs, 512).throughput
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_ledger_add_remove(benchmark):
+    net = LineNetwork(64, buffer_size=4, capacity=4)
+    graph = SpaceTimeGraph(net, 256)
+    paths = [
+        STPath((i % 32, 2 * i % 64), (0, 1) * 8, rid=i) for i in range(64)
+    ]
+
+    def run():
+        ledger = graph.ledger()
+        for p in paths:
+            ledger.add_path(p, strict=False)
+        for p in paths:
+            ledger.remove_path(p)
+        return ledger.total_load()
+
+    assert benchmark.pedantic(run, rounds=5, iterations=1) == 0
+
+
+def test_dinic_spacetime(benchmark):
+    net = LineNetwork(64, buffer_size=1, capacity=1)
+    reqs = uniform_requests(net, 150, 64, rng=1)
+
+    def run():
+        return throughput_upper_bound(net, reqs, 256)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0
+
+
+def test_deterministic_pipeline(benchmark):
+    net = LineNetwork(32, buffer_size=3, capacity=3)
+    reqs = uniform_requests(net, 100, 32, rng=2)
+
+    def run():
+        return DeterministicRouter(net, 128).route(reqs).throughput
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0

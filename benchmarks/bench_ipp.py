@@ -1,0 +1,82 @@
+"""E8 -- Theorem 1 / Algorithm 3: online integral path packing.
+
+Measures, over random packing instances on sketch graphs: (i) throughput
+against half the optimal fractional packing (the theorem's guarantee), and
+(ii) the maximum edge load against ``log2(1 + 3 p_max)`` times capacity.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.network.topology import LineNetwork
+from repro.packing.ipp import OnlinePathPacking
+from repro.packing.lp import fractional_opt
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.spacetime.sketch import PlainSketchGraph
+from repro.spacetime.tiling import Tiling
+from repro.util.rng import spawn_generators
+from repro.workloads.uniform import uniform_requests
+
+
+def run_ipp_instances():
+    rows = []
+    for n, tile in ((16, 4), (32, 4), (32, 8)):
+        net = LineNetwork(n, buffer_size=1, capacity=1)
+        horizon = 2 * n
+        for rng in spawn_generators(n + tile, 2):
+            graph = SpaceTimeGraph(net, horizon)
+            sketch = PlainSketchGraph(graph, Tiling((tile, tile)))
+            ipp = OnlinePathPacking(sketch, pmax=4 * n)
+            reqs = uniform_requests(net, 3 * n, n, rng=rng)
+            accepted = 0
+            for r in reqs:
+                sink = sketch.register_sink(("d", r.dest), r.dest, 0, horizon)
+                if sink is None:
+                    continue
+                if ipp.route(sketch.source_node(r), sink) is not None:
+                    accepted += 1
+            ipp.check_theorem1_invariants()
+            optf = fractional_opt(net, reqs, horizon)
+            rows.append([
+                n, tile, len(reqs), accepted, optf,
+                accepted / max(1e-9, optf / 2),
+                ipp.max_load_ratio(), ipp.load_bound(),
+            ])
+    return rows
+
+
+def test_theorem1_throughput_and_load(once):
+    rows = once(run_ipp_instances)
+    emit(
+        "E8_ipp",
+        format_table(
+            ["n", "tile", "reqs", "accepted", "opt_f",
+             "tput/(opt_f/2)", "max load", "load bound"],
+            rows,
+            title="E8/Theorem 1 -- IPP throughput >= opt_f/2 and edge load "
+            "<= log2(1 + 3 p_max) * capacity",
+        ),
+    )
+    for r in rows:
+        assert r[5] >= 1.0 - 1e-9  # throughput at least half of fractional opt
+        assert r[6] <= r[7] + 1e-9  # load bound holds
+
+
+def test_ipp_is_fast(benchmark):
+    """Micro-benchmark: routing cost per request on a mid-size sketch."""
+    net = LineNetwork(64, buffer_size=1, capacity=1)
+    graph = SpaceTimeGraph(net, 128)
+    sketch = PlainSketchGraph(graph, Tiling((8, 8)))
+    ipp = OnlinePathPacking(sketch, pmax=256)
+    reqs = uniform_requests(net, 50, 64, rng=0)
+    sinks = {}
+    for r in reqs:
+        sinks[r.rid] = sketch.register_sink(("d", r.dest), r.dest, 0, 128)
+
+    def route_all():
+        for r in reqs:
+            ipp.route(sketch.source_node(r), sinks[r.rid])
+
+    benchmark.pedantic(route_all, rounds=3, iterations=1)

@@ -1,0 +1,70 @@
+"""E14 -- Figure 12 / Appendix F: the two node-functionality models.
+
+Model 1 ([ARSU02, RR09], the paper's model) lets a packet cut through a
+node while another is buffered; Model 2 ([AZ05, AKK09]) funnels everything
+through the buffer.  The bench reproduces the B = c = 1 separation
+instance (Model 1 delivers both packets, Model 2 can only deliver one) and
+sweeps NTG throughput under both models on shared workloads.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.baselines.nearest_to_go import run_nearest_to_go
+from repro.network.node_models import Model2LineSimulator, separation_instance
+from repro.network.topology import LineNetwork
+from repro.util.rng import spawn_generators
+from repro.workloads.uniform import uniform_requests
+
+
+def run_separation():
+    net, reqs = separation_instance()
+    m1 = run_nearest_to_go(net, reqs, 10).throughput
+    m2 = Model2LineSimulator(net).run(reqs, 10).stats.delivered
+    return [["separation (B=c=1)", m1, m2]]
+
+
+def run_model_sweep():
+    rows = []
+    for n in (16, 32, 64):
+        net = LineNetwork(n, buffer_size=1, capacity=1)
+        horizon = 4 * n
+        t1 = t2 = 0
+        trials = 4
+        for rng in spawn_generators(n, trials):
+            reqs = uniform_requests(net, 2 * n, n, rng=rng)
+            t1 += run_nearest_to_go(net, reqs, horizon).throughput
+            t2 += Model2LineSimulator(net).run(reqs, horizon).stats.delivered
+        rows.append([n, t1 / trials, t2 / trials])
+    return rows
+
+
+def test_model_separation(once):
+    rows = once(run_separation)
+    emit(
+        "E14_separation",
+        format_table(
+            ["instance", "Model 1", "Model 2"],
+            rows,
+            title="E14/Appendix F -- the remark-1 separation instance "
+            "(Model 1 keeps both packets; Model 2 must drop one)",
+        ),
+    )
+    assert rows[0][1] == 2 and rows[0][2] == 1
+
+
+def test_model_throughput_sweep(once):
+    rows = once(run_model_sweep)
+    emit(
+        "E14_model_sweep",
+        format_table(
+            ["n", "Model 1 NTG", "Model 2 NTG"],
+            rows,
+            title="E14/Appendix F -- NTG throughput under the two node "
+            "models (Model 1 dominates)",
+        ),
+    )
+    for row in rows:
+        assert row[1] >= row[2]  # Model 1 is strictly stronger

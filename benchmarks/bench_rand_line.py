@@ -1,0 +1,149 @@
+"""E6 -- Theorem 29: the randomized O(log n) algorithm on lines.
+
+Expected competitive ratio (mean over seeds, both coin outcomes occurring)
+for B = c = 1 and B = c = 2, compared with greedy and NTG on the same
+instances, plus the deterministic algorithm's requirement gap (it needs
+B >= 3, which the randomized algorithm does not).
+
+The paper's constants (lambda = 1/(200 k)) reject almost everything at
+laptop scale, so the headline table uses a practical sparsification
+(gamma = 2); a separate table runs the paper-exact constants to show the
+pipeline is identical and only the constant changes (see also E16).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import run_greedy
+from repro.baselines.nearest_to_go import run_nearest_to_go
+from repro.baselines.offline import offline_bound
+from repro.core.randomized import RandomizedLineRouter
+from repro.network.topology import LineNetwork
+from repro.util.rng import spawn_generators
+from repro.workloads.uniform import uniform_requests
+
+SIZES = (32, 64, 128)
+SEEDS = 6
+
+
+def run_sweep(B, c, lam=None, gamma=2.0):
+    rows = []
+    for n in SIZES:
+        net = LineNetwork(n, buffer_size=B, capacity=c)
+        horizon = 4 * n
+        tputs, bounds, g_t, ntg_t = [], [], [], []
+        for i, rng in enumerate(spawn_generators(23, SEEDS)):
+            reqs = uniform_requests(net, 3 * n, n, rng=rng)
+            router = RandomizedLineRouter(net, horizon, rng=rng, lam=lam, gamma=gamma)
+            plan = router.route(reqs)
+            tputs.append(plan.throughput)
+            bounds.append(offline_bound(net, reqs, horizon))
+            g_t.append(run_greedy(net, reqs, horizon).throughput)
+            ntg_t.append(run_nearest_to_go(net, reqs, horizon).throughput)
+        exp_tput = sum(tputs) / len(tputs)
+        bound = sum(bounds) / len(bounds)
+        rows.append([
+            n,
+            bound / max(1e-9, exp_tput),
+            bound / max(1e-9, sum(g_t) / len(g_t)),
+            bound / max(1e-9, sum(ntg_t) / len(ntg_t)),
+        ])
+    return rows
+
+
+def test_randomized_b1c1(once):
+    rows = once(run_sweep, 1, 1)
+    emit(
+        "E6_rand_b1c1",
+        format_table(
+            ["n", "rand E[ratio]", "greedy ratio", "ntg ratio"],
+            rows,
+            title="E6/Theorem 29 -- randomized line algorithm, B = c = 1 "
+            "(gamma = 2; paper: O(log n) expected; at these n the measured "
+            "growth is dominated by the 1/lambda and quadrant constants)",
+        ),
+    )
+    assert all(r[1] >= 1.0 for r in rows)
+    # the algorithm keeps delivering across the sweep (never degenerates)
+    assert rows[-1][1] < 100
+
+
+def test_randomized_fixed_lambda_shape(once):
+    """With the sparsification probability held fixed, the asymptotic
+    log-shape is visible at laptop scale: the per-doubling growth factor of
+    the expected ratio *decreases* with n."""
+
+    def fixed_lambda_sweep():
+        rows = []
+        for n in (32, 64, 128):
+            net = LineNetwork(n, buffer_size=1, capacity=1)
+            horizon = 4 * n
+            tputs, bounds = [], []
+            for rng in spawn_generators(23, 8):
+                reqs = uniform_requests(net, 3 * n, n, rng=rng)
+                router = RandomizedLineRouter(net, horizon, rng=rng, lam=0.5)
+                plan = router.route(reqs)
+                tputs.append(plan.throughput)
+                bounds.append(offline_bound(net, reqs, horizon))
+            et = sum(tputs) / len(tputs)
+            rows.append([n, sum(bounds) / len(bounds) / max(1e-9, et)])
+        return rows
+
+    rows = once(fixed_lambda_sweep)
+    emit(
+        "E6_rand_fixed_lambda",
+        format_table(
+            ["n", "E[ratio] (lambda = 0.5)"],
+            rows,
+            title="E6/Theorem 29 -- fixed-lambda sweep: per-doubling growth "
+            "flattens (the O(log n) shape)",
+        ),
+    )
+    g1 = rows[1][1] / rows[0][1]
+    g2 = rows[2][1] / rows[1][1]
+    assert g2 < g1 + 0.35  # flattening (tolerance for seed noise)
+
+
+def test_randomized_b2c2(once):
+    rows = once(run_sweep, 2, 2)
+    emit(
+        "E6_rand_b2c2",
+        format_table(
+            ["n", "rand E[ratio]", "greedy ratio", "ntg ratio"],
+            rows,
+            title="E6/Theorem 29 -- randomized line algorithm, B = c = 2",
+        ),
+    )
+    assert all(r[1] >= 1.0 for r in rows)
+
+
+def test_randomized_paper_constants(once):
+    def paper_run():
+        n = 64
+        net = LineNetwork(n, buffer_size=1, capacity=1)
+        horizon = 4 * n
+        tputs, bounds = [], []
+        for rng in spawn_generators(31, 10):
+            reqs = uniform_requests(net, 6 * n, n, rng=rng)
+            router = RandomizedLineRouter(net, horizon, rng=rng)  # gamma = 200
+            plan = router.route(reqs)
+            tputs.append(plan.throughput)
+            bounds.append(offline_bound(net, reqs, horizon))
+        return [[n, router.params.lam, sum(tputs) / len(tputs),
+                 sum(bounds) / len(bounds)]]
+
+    rows = once(paper_run)
+    emit(
+        "E6_rand_paper_constants",
+        format_table(
+            ["n", "lambda", "E[throughput]", "bound"],
+            rows,
+            title="E6 -- paper-exact lambda = 1/(200 k): the Chernoff constant "
+            "rejects nearly everything at this scale (documented gap)",
+        ),
+    )
+    # the paper constant is tiny: expected throughput is near zero here,
+    # which is the point of recording it
+    assert rows[0][1] < 0.01

@@ -1,0 +1,74 @@
+"""E7 -- Table 2: the three (B, c) regimes of the randomized algorithm.
+
+One measured row per regime of the paper's Table 2:
+
+* ``B, c in [1, log n]``      -- Sections 7.3-7.6 (classify-and-select);
+* ``log n <= B/c <= poly(n)`` -- Section 7.7 (half-tile, horizontal I-routing);
+* ``B <= log n <= c``         -- Section 7.8 (column slivers).
+
+Each row reports the measured expected ratio over seeds with a practical
+sparsification constant; the claim reproduced is that *all three regimes
+work through the same pipeline* with logarithmic-type degradation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.baselines.offline import offline_bound
+from repro.core.randomized import (
+    LargeBufferLineRouter,
+    RandomizedLineRouter,
+    SmallBufferLineRouter,
+)
+from repro.network.topology import LineNetwork
+from repro.util.rng import spawn_generators
+from repro.workloads.uniform import uniform_requests
+
+N = 64
+SEEDS = 6
+
+
+def run_regimes():
+    logn = math.ceil(math.log2(N))
+    configs = [
+        ("7.3-7.6: B,c in [1,log n]", 1, 1,
+         lambda net, rng: RandomizedLineRouter(net, 4 * N, rng=rng, lam=0.5)),
+        ("7.7: B/c >= log n", 8 * logn, 1,
+         lambda net, rng: LargeBufferLineRouter(net, 8 * N, rng=rng, lam=0.5)),
+        ("7.8: B <= log n <= c", 2, 2 * logn,
+         lambda net, rng: SmallBufferLineRouter(net, 4 * N, rng=rng, lam=0.5)),
+    ]
+    rows = []
+    for label, B, c, make in configs:
+        net = LineNetwork(N, buffer_size=B, capacity=c)
+        horizon = 8 * N if B > logn else 4 * N
+        tputs, bounds = [], []
+        for rng in spawn_generators(41, SEEDS):
+            reqs = uniform_requests(net, 3 * N, N, rng=rng)
+            plan = make(net, rng).route(reqs)
+            tputs.append(plan.throughput)
+            bounds.append(offline_bound(net, reqs, horizon))
+        et = sum(tputs) / len(tputs)
+        eb = sum(bounds) / len(bounds)
+        rows.append([label, B, c, eb, eb / max(1e-9, et)])
+    return rows
+
+
+def test_table2_regimes(once):
+    rows = once(run_regimes)
+    emit(
+        "E7_table2",
+        format_table(
+            ["regime", "B", "c", "bound", "E[ratio]"],
+            rows,
+            title=f"E7/Table 2 -- randomized-algorithm regimes at n = {N} "
+            "(paper: O(log n) in every row)",
+        ),
+    )
+    assert all(r[4] >= 1.0 for r in rows)
+    # every regime delivers a nontrivial fraction of the bound
+    assert all(r[4] < 60 for r in rows)

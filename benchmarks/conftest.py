@@ -1,0 +1,34 @@
+"""Shared helpers for the experiment benches.
+
+Every bench prints a fixed-format table (the reproduction of a paper
+table/figure/theorem -- see DESIGN.md Section 4 and EXPERIMENTS.md) and
+also appends it to ``benchmarks/_output/`` so results survive the pytest
+capture.  Benches assert the *shape* of each result (who wins, growth
+trends), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/_output/."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    print(f"\n{text}\n")
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Adversarial showdown: admission control vs work conservation.
+
+Reproduces the qualitative story behind Table 1 on the clogging instance
+([AKOR03]'s greedy killer): a stream of maximum-distance packets saturates
+every link while each intermediate node offers easy one-hop packets.
+
+* greedy keeps forwarding the long packets -- its ratio grows ~ sqrt(n);
+* nearest-to-go lets the short packets win -- near-optimal here;
+* the deterministic algorithm pays its polylog *constants* but its ratio
+  grows slower than greedy's (the Theorem 4 shape).
+
+Run:  python examples/adversarial_showdown.py
+"""
+
+from repro import DeterministicRouter, LineNetwork, offline_bound
+from repro.baselines import run_greedy, run_nearest_to_go
+from repro.workloads import clogging_instance
+
+
+def main() -> None:
+    print(f"{'n':>4} {'bound':>8} {'greedy':>9} {'ntg':>9} {'det(Thm 4)':>11}"
+          f"   (competitive ratios)")
+    prev = {}
+    for n in (16, 32, 64):
+        net = LineNetwork(n, buffer_size=3, capacity=3)
+        horizon = 5 * n
+        reqs = clogging_instance(net, duration=n // 2, shorts_per_node=3)
+        bound = offline_bound(net, reqs, horizon)
+
+        ratios = {}
+        ratios["greedy"] = bound / max(1, run_greedy(
+            net, reqs, horizon, priority="longest").throughput)
+        ratios["ntg"] = bound / max(1, run_nearest_to_go(
+            net, reqs, horizon).throughput)
+        det = DeterministicRouter(net, horizon).route(reqs)
+        ratios["det"] = bound / max(1, det.throughput)
+
+        growth = ""
+        if prev:
+            growth = "   growth: " + ", ".join(
+                f"{k} x{ratios[k] / prev[k]:.2f}" for k in ("greedy", "det")
+            )
+        print(f"{n:>4} {bound:>8.0f} {ratios['greedy']:>9.2f} "
+              f"{ratios['ntg']:>9.2f} {ratios['det']:>11.2f}{growth}")
+        prev = ratios
+
+    print(
+        "\nreading: greedy's ratio multiplies by ~sqrt(2) per doubling of n\n"
+        "(the Omega(sqrt n) lower bound of [AKOR03]); the deterministic\n"
+        "algorithm's multiplier is smaller -- polylog growth -- though its\n"
+        "absolute constants (tile side k ~ log n to the fifth) dominate at\n"
+        "laptop sizes.  NTG is near-optimal on this particular instance."
+    )
+
+
+if __name__ == "__main__":
+    main()

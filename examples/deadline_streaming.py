@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Deadline-constrained streaming on a line (Section 5.4).
+
+A video-style workload: periodic frames from several sources must reach a
+sink within a fixed latency budget.  The deterministic algorithm handles
+deadlines natively (per-request sinks in the sketch graph); the example
+sweeps the latency budget and shows the paper's invariant -- a packet that
+is not preempted always arrives *on time* (zero late deliveries).
+
+Run:  python examples/deadline_streaming.py
+"""
+
+from repro import DeterministicRouter, LineNetwork, Request, execute_plan
+
+N = 48
+HORIZON = 6 * N
+
+
+def streaming_workload(slack: int) -> list:
+    """Three periodic flows with per-packet deadlines."""
+    flows = [
+        (2, 40, 0, 4),   # source, dest, phase, period
+        (10, 44, 1, 4),
+        (5, 30, 2, 2),
+    ]
+    out = []
+    rid = 0
+    for src, dst, phase, period in flows:
+        for t in range(phase, N, period):
+            out.append(
+                Request.line(src, dst, t,
+                             deadline=t + (dst - src) + slack, rid=rid)
+            )
+            rid += 1
+    return out
+
+
+def main() -> None:
+    net = LineNetwork(N, buffer_size=3, capacity=3)
+    print(f"streaming over {net}; horizon {HORIZON}\n")
+    print(f"{'slack':>6} {'offered':>8} {'on-time':>8} {'late':>5} {'dropped':>8}")
+    for slack in (0, 2, 6, 16, 48):
+        reqs = streaming_workload(slack)
+        router = DeterministicRouter(net, HORIZON)
+        plan = router.route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, HORIZON)
+        assert plan.consistent_with_simulation(result)
+        stats = result.stats
+        dropped = stats.rejected + stats.preempted
+        print(f"{slack:>6} {len(reqs):>8} {stats.delivered:>8} "
+              f"{stats.late:>5} {dropped:>8}")
+        # Section 5.4's invariant: admitted packets are never late
+        assert stats.late == 0
+
+    print(
+        "\nno admitted packet ever missed its deadline (Section 5.4): the\n"
+        "per-request sinks only expose tiles whose destination copies lie\n"
+        "inside the deadline window, and detailed routing cannot overshoot\n"
+        "them (Figure 7).\n\n"
+        "note the counter-intuitive slack trend: tight deadlines force\n"
+        "conflict-light pure diagonals, while large windows let the path\n"
+        "packer choose detoured routes whose extra bends are\n"
+        "preemption-prone -- a measured cost of the algorithm's\n"
+        "conservative track reservation, not a missed deadline."
+    )
+
+
+if __name__ == "__main__":
+    main()

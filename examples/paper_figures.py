@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's figures, regenerated from live objects as ASCII art.
+
+* Figure 2/3 -- the untilted space-time graph of a line, a detailed path,
+  and the tiling (drawn from a real routed plan, not hand-placed);
+* Figure 5  -- a sketch path's three detailed-routing parts;
+* Figure 8/9 -- tile quadrants and their routing roles;
+* Figure 3e -- the sketch graph with live IPP loads.
+
+Run:  python examples/paper_figures.py
+"""
+
+from repro import DeterministicRouter, LineNetwork, Request
+from repro.analysis.viz import (
+    render_sketch_loads,
+    render_spacetime,
+    render_tile_quadrants,
+)
+from repro.core.randomized import RandomizedParams
+
+
+def main() -> None:
+    net = LineNetwork(16, buffer_size=3, capacity=3)
+    router = DeterministicRouter(net, horizon=48, k=6)
+    reqs = [
+        Request.line(1, 13, 0, rid=0),
+        Request.line(2, 10, 3, rid=1),
+        Request.line(0, 6, 8, rid=2),
+    ]
+    plan = router.route(reqs)
+
+    print("=" * 72)
+    print("Figures 2-3 & 5: untilted space-time graph, tiles (side k=6),")
+    print("and the detailed paths the deterministic algorithm reserved:\n")
+    print(
+        render_spacetime(
+            router.graph,
+            [plan.paths[r] for r in sorted(plan.paths)],
+            tiling=router.tiling,
+            col_lo=-8,
+            col_hi=30,
+        )
+    )
+    print(
+        "\nreading: each glyph climbs north (transmit) and steps east\n"
+        "(buffer); bends happen inside bend tiles, the final climb is the\n"
+        "last-tile routing of Section 5.2.4."
+    )
+
+    print("\n" + "=" * 72)
+    print("Figure 3e: the sketch graph with the IPP loads of this run:\n")
+    print(render_sketch_loads(router.sketch, router.ipp.flow))
+
+    print("\n" + "=" * 72)
+    print("Figures 8-9: quadrants of a randomized-algorithm tile")
+    params = RandomizedParams.for_network(
+        LineNetwork(64, buffer_size=1, capacity=1)
+    )
+    print(f"(Definition 15 gives Q = {params.Q}, tau = {params.tau} "
+          f"at n = 64, B = c = 1):\n")
+    print(render_tile_quadrants(params.Q, params.tau))
+
+
+if __name__ == "__main__":
+    main()

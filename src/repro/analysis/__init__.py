@@ -1,0 +1,23 @@
+"""Experiment harness: metrics, runners, tables and ASCII rendering."""
+
+from repro.analysis.metrics import competitive_ratio, evaluate_plan, evaluate_policy
+from repro.analysis.runner import ExperimentResult, run_trials, sweep
+from repro.analysis.tables import format_table
+from repro.analysis.viz import (
+    render_sketch_loads,
+    render_spacetime,
+    render_tile_quadrants,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "competitive_ratio",
+    "evaluate_plan",
+    "evaluate_policy",
+    "format_table",
+    "render_sketch_loads",
+    "render_spacetime",
+    "render_tile_quadrants",
+    "run_trials",
+    "sweep",
+]

@@ -1,0 +1,63 @@
+"""Seeded multi-trial experiment running and aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import spawn_generators
+
+
+@dataclass
+class ExperimentResult:
+    """Aggregate of a metric over trials (mean, sd, extremes)."""
+
+    label: str
+    values: list = field(default_factory=list)
+
+    def add(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def mean(self) -> float:
+        finite = [v for v in self.values if np.isfinite(v)]
+        return float(np.mean(finite)) if finite else float("inf")
+
+    @property
+    def std(self) -> float:
+        finite = [v for v in self.values if np.isfinite(v)]
+        return float(np.std(finite)) if len(finite) > 1 else 0.0
+
+    @property
+    def best(self) -> float:
+        return min(self.values) if self.values else float("nan")
+
+    @property
+    def worst(self) -> float:
+        return max(self.values) if self.values else float("nan")
+
+    def summary(self) -> str:
+        return f"{self.label}: mean={self.mean:.3f} sd={self.std:.3f} n={len(self.values)}"
+
+
+def run_trials(fn, seeds: int, base_seed: int = 0, label: str = "") -> ExperimentResult:
+    """Run ``fn(rng) -> float`` over ``seeds`` independent generators."""
+    result = ExperimentResult(label=label or getattr(fn, "__name__", "metric"))
+    for rng in spawn_generators(base_seed, seeds):
+        result.add(fn(rng))
+    return result
+
+
+def sweep(fn, points, seeds: int = 3, base_seed: int = 0) -> dict:
+    """Run ``fn(point, rng) -> float`` for each sweep point.
+
+    Returns ``{point: ExperimentResult}`` -- the shape the benches print as
+    table rows (point per row)."""
+    out: dict = {}
+    for point in points:
+        result = ExperimentResult(label=str(point))
+        for rng in spawn_generators((base_seed, hash(str(point)) & 0xFFFF), seeds):
+            result.add(fn(point, rng))
+        out[point] = result
+    return out

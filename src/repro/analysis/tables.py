@@ -1,0 +1,26 @@
+"""Fixed-width table formatting for bench output.
+
+The benches print rows comparable to the paper's statements; this keeps
+the formatting in one place so EXPERIMENTS.md and the bench output agree.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Render a list-of-rows table with padded columns."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([
+            f"{v:.3f}" if isinstance(v, float) else str(v) for v in row
+        ])
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""ASCII rendering of space-time structures (the paper's figures as text).
+
+The paper's figures are drawings of the untilted space-time grid, its
+tiles, quadrants and detailed paths (Figures 2, 3, 5, 8, 9).  These
+renderers reproduce them as monospace text for terminals, examples and
+docs.  Convention follows the paper: the vertical axis is space (north =
+up = increasing node index), the horizontal axis is the untilted column
+``t - x`` (east = right = buffering).
+
+Cells show ``.`` for empty vertices, a path's glyph where a path visits,
+and ``+``/``|``/``-`` tile rulings when a tiling is supplied.
+"""
+
+from __future__ import annotations
+
+import string
+
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.spacetime.tiling import Tiling
+from repro.util.errors import ValidationError
+
+GLYPHS = string.ascii_uppercase + string.ascii_lowercase + string.digits
+
+
+def _path_cells(graph: SpaceTimeGraph, path: STPath):
+    return list(path.vertices(graph.d))
+
+
+def render_spacetime(graph: SpaceTimeGraph, paths=(), tiling: Tiling | None = None,
+                     col_lo: int | None = None, col_hi: int | None = None,
+                     legend: bool = True) -> str:
+    """Render a 1-dimensional space-time graph with optional paths/tiles.
+
+    Paths are drawn with one glyph each (A, B, C, ...); later paths
+    overwrite earlier ones on shared vertices (which capacity-feasible
+    plans only do at distinct times, i.e. never on a line).
+    """
+    if graph.d != 1:
+        raise ValidationError("ASCII rendering supports lines (d = 1)")
+    n = graph.network.dims[0]
+    lo = -graph.col_offset if col_lo is None else col_lo
+    hi = graph.horizon if col_hi is None else col_hi
+
+    width = hi - lo + 1
+    rows = [["." for _ in range(width)] for _ in range(n)]
+
+    def put(r, c, ch):
+        if 0 <= r < n and lo <= c <= hi:
+            rows[r][c - lo] = ch
+
+    if tiling is not None:
+        for r in range(n):
+            for c in range(lo, hi + 1):
+                lr, lc = tiling.local((r, c))
+                if lr == 0 and lc == 0:
+                    put(r, c, "+")
+                elif lr == 0:
+                    put(r, c, "-")
+                elif lc == 0:
+                    put(r, c, "|")
+
+    names = {}
+    for i, path in enumerate(paths):
+        glyph = GLYPHS[i % len(GLYPHS)]
+        names[glyph] = getattr(path, "rid", i)
+        for v in _path_cells(graph, path):
+            put(v[0], v[1], glyph)
+
+    lines = []
+    for r in range(n - 1, -1, -1):  # north at the top, as in the figures
+        lines.append(f"{r:>3} " + "".join(rows[r]))
+    axis = "    " + "".join(
+        "^" if (c % 10 == 0) else " " for c in range(lo, hi + 1)
+    )
+    lines.append(axis)
+    lines.append(f"    col (t - x) from {lo} to {hi}; east = buffering, north = transmit")
+    if legend and names:
+        lines.append(
+            "    paths: " + ", ".join(f"{g} = request {rid}" for g, rid in names.items())
+        )
+    return "\n".join(lines)
+
+
+def render_tile_quadrants(Q: int, tau: int) -> str:
+    """Figure 8/9: the quadrants of a tile and the allowed route roles."""
+    if Q % 2 or tau % 2:
+        raise ValidationError("quadrant rendering needs even sides")
+    rows = []
+    for r in range(Q - 1, -1, -1):
+        cells = []
+        for c in range(tau):
+            north = r >= Q // 2
+            east = c >= tau // 2
+            cells.append(
+                "X" if (north and east) else
+                "T" if (north or east) else "I"
+            )
+        rows.append(" ".join(cells))
+    rows.append("")
+    rows.append("I = SW quadrant (I-routing; sources start here)")
+    rows.append("T = NW / SE quadrants (T-routing; one blocked side each)")
+    rows.append("X = NE quadrant (X-routing; exits north / east)")
+    return "\n".join(rows)
+
+
+def render_sketch_loads(sketch, loads: dict) -> str:
+    """Per-tile table of sketch-edge loads (Figure 3e with numbers).
+
+    ``loads`` maps sketch edge keys (as produced by IPP's ``flow``) to
+    integers; tiles are laid out row-band by row-band.
+    """
+    tiles = sorted(sketch.tiles)
+    if not tiles:
+        return "(empty sketch)"
+    rows = []
+    r_vals = sorted({t[0] for t in tiles})
+    c_vals = sorted({t[-1] for t in tiles})
+    header = "band\\col " + " ".join(f"{c:>7}" for c in c_vals)
+    rows.append(header)
+    for r in reversed(r_vals):
+        cells = []
+        for c in c_vals:
+            tile = (r, c)
+            if tile not in sketch.tiles:
+                cells.append("      .")
+                continue
+            north = loads.get(("e", tile, 0), 0)
+            east = loads.get(("e", tile, 1), 0)
+            cells.append(f"{north:>3}^{east:>2}>")
+        rows.append(f"{r:>8} " + " ".join(cells))
+    rows.append("(each cell: paths leaving the tile north^ and east>)")
+    return "\n".join(rows)

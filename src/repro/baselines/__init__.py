@@ -1,0 +1,25 @@
+"""Baseline algorithms the paper compares against (Table 1).
+
+* :mod:`repro.baselines.greedy` -- the greedy algorithm of [AKOR03]
+  (inject whenever buffer space exists, always forward when a link is
+  free); Omega(sqrt(n)) lower bound on lines with B >= 2.
+* :mod:`repro.baselines.nearest_to_go` -- the nearest-to-go policy
+  (contention resolved in favour of the packet with the fewest remaining
+  hops): O~(sqrt(n))-competitive on lines, Theta~(n^{2/3}) on
+  2-dimensional grids with 1-bend routing [AKK09]; optimal on bufferless
+  lines (Proposition 12).
+* :mod:`repro.baselines.offline` -- offline bound wrappers used as
+  competitive-ratio denominators.
+"""
+
+from repro.baselines.greedy import GreedyPolicy, run_greedy
+from repro.baselines.nearest_to_go import NearestToGoPolicy, run_nearest_to_go
+from repro.baselines.offline import offline_bound
+
+__all__ = [
+    "GreedyPolicy",
+    "NearestToGoPolicy",
+    "offline_bound",
+    "run_greedy",
+    "run_nearest_to_go",
+]

@@ -1,0 +1,71 @@
+"""The greedy algorithm ([AKOR03]; Table 1 rows for greedy policies).
+
+Greedy injects a packet whenever it can be stored or forwarded and always
+forwards up to ``c`` packets per link.  The priority among contending
+packets is a parameter (the lower bounds hold for any greedy priority):
+
+* ``"fifo"`` -- oldest injection first (default);
+* ``"lifo"`` -- newest first;
+* ``"longest"`` -- farthest-to-go first (the most pessimistic choice on
+  the clogging instances).
+
+Packets travel dimension by dimension (1-bend routing on grids, the
+scheme analysed by [AKK09]).
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Packet
+from repro.network.simulator import Decision, Policy, SimulationResult, Simulator
+from repro.network.topology import Network
+from repro.util.errors import ValidationError
+
+
+def one_bend_axis(pkt: Packet) -> int:
+    """First axis on which the packet still has distance to cover
+    (dimension-order / 1-bend routing)."""
+    for axis, (x, dx) in enumerate(zip(pkt.location, pkt.request.dest)):
+        if x < dx:
+            return axis
+    raise ValidationError(f"packet {pkt.rid} already at destination")
+
+
+_PRIORITIES = {
+    "fifo": lambda pkt: (pkt.request.arrival, pkt.rid),
+    "lifo": lambda pkt: (-pkt.request.arrival, -pkt.rid),
+    "longest": lambda pkt: (-pkt.remaining_distance(), pkt.request.arrival, pkt.rid),
+}
+
+
+class GreedyPolicy(Policy):
+    """Work-conserving greedy forwarding with a pluggable priority."""
+
+    def __init__(self, priority: str = "fifo"):
+        if priority not in _PRIORITIES:
+            raise ValidationError(
+                f"unknown priority {priority!r}; choose from {sorted(_PRIORITIES)}"
+            )
+        self.priority = priority
+        self._key = _PRIORITIES[priority]
+
+    def decide(self, node, t, candidates, network: Network) -> Decision:
+        B, c = network.buffer_size, network.capacity
+        by_axis: dict = {}
+        for pkt in candidates:
+            by_axis.setdefault(one_bend_axis(pkt), []).append(pkt)
+        decision = Decision()
+        leftovers: list = []
+        for axis, pkts in by_axis.items():
+            pkts.sort(key=self._key)
+            decision.forward[axis] = pkts[:c]
+            leftovers.extend(pkts[c:])
+        leftovers.sort(key=self._key)
+        decision.store = leftovers[:B]
+        return decision
+
+
+def run_greedy(network: Network, requests, horizon: int,
+               priority: str = "fifo", trace: bool = False) -> SimulationResult:
+    """Simulate the greedy algorithm on ``requests``."""
+    sim = Simulator(network, GreedyPolicy(priority), trace=trace)
+    return sim.run(requests, horizon)

@@ -1,0 +1,46 @@
+"""The nearest-to-go (NTG) policy ([AKOR03], [AKK09]; Table 1).
+
+On contention -- for a link or for buffer space -- the packet with the
+fewest remaining hops wins; the farthest packets are dropped first.  On
+2-dimensional grids packets use 1-bend (dimension-order) routing, the
+scheme for which [AKK09] prove the Theta~(n^{2/3}) bound.  On bufferless
+lines NTG is optimal (Proposition 12): it simulates the optimal online
+interval packing of Section 5.2.1.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.greedy import one_bend_axis
+from repro.network.simulator import Decision, Policy, SimulationResult, Simulator
+from repro.network.topology import Network
+
+
+def ntg_key(pkt):
+    """Nearest-to-go priority: fewest remaining hops, then age, then id."""
+    return (pkt.remaining_distance(), pkt.request.arrival, pkt.rid)
+
+
+class NearestToGoPolicy(Policy):
+    """Forward the nearest packets first; buffer the nearest leftovers."""
+
+    def decide(self, node, t, candidates, network: Network) -> Decision:
+        B, c = network.buffer_size, network.capacity
+        by_axis: dict = {}
+        for pkt in candidates:
+            by_axis.setdefault(one_bend_axis(pkt), []).append(pkt)
+        decision = Decision()
+        leftovers: list = []
+        for axis, pkts in by_axis.items():
+            pkts.sort(key=ntg_key)
+            decision.forward[axis] = pkts[:c]
+            leftovers.extend(pkts[c:])
+        leftovers.sort(key=ntg_key)
+        decision.store = leftovers[:B]
+        return decision
+
+
+def run_nearest_to_go(network: Network, requests, horizon: int,
+                      trace: bool = False) -> SimulationResult:
+    """Simulate the nearest-to-go policy on ``requests``."""
+    sim = Simulator(network, NearestToGoPolicy(), trace=trace)
+    return sim.run(requests, horizon)

@@ -1,0 +1,40 @@
+"""Offline throughput bounds used as competitive-ratio denominators.
+
+``opt(sigma)`` is NP-hard; the experiments divide by one of three
+surrogates, in decreasing tightness / increasing scalability:
+
+* ``"exact"``   -- branch-and-bound integral optimum (tiny instances only);
+* ``"lp"``      -- optimal fractional packing ``opt_f`` (what the paper's
+  own guarantees are stated against);
+* ``"maxflow"`` -- single-commodity max-flow relaxation (default; scales to
+  the sweep sizes of the benches).
+
+All three upper-bound the true ``opt``, so the measured ratios are
+conservative (never flatter than reality).
+"""
+
+from __future__ import annotations
+
+from repro.network.topology import Network
+from repro.packing.exact import exact_opt_small
+from repro.packing.lp import fractional_opt
+from repro.packing.maxflow import throughput_upper_bound
+from repro.util.errors import ValidationError
+
+
+def offline_bound(network: Network, requests, horizon: int,
+                  method: str = "maxflow") -> float:
+    """An upper bound on the offline optimal throughput."""
+    requests = list(requests)
+    if not requests:
+        return 0.0
+    if method == "maxflow":
+        return float(throughput_upper_bound(network, requests, horizon))
+    if method == "lp":
+        return float(fractional_opt(network, requests, horizon))
+    if method == "exact":
+        value, _ = exact_opt_small(network, requests, horizon)
+        return float(value)
+    raise ValidationError(
+        f"unknown offline bound {method!r}; choose exact, lp or maxflow"
+    )

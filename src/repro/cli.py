@@ -1,0 +1,173 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Small, scriptable entry points over the library:
+
+* ``demo``    -- the quickstart scoreboard on a line;
+* ``route``   -- run one algorithm on a generated workload, print stats;
+* ``compare`` -- algorithms side by side on the same instance;
+* ``figures`` -- the paper's figures as ASCII art.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import run_greedy
+from repro.baselines.nearest_to_go import run_nearest_to_go
+from repro.baselines.offline import offline_bound
+from repro.core.deterministic import DeterministicRouter
+from repro.core.deterministic.variants import BufferlessLineRouter, LargeCapacityRouter
+from repro.core.randomized import RandomizedLineRouter
+from repro.network.simulator import execute_plan
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.workloads import clogging_instance, uniform_requests
+
+ALGORITHMS = ("det", "rand", "greedy", "ntg", "bufferless", "theorem13")
+
+
+def _build_network(args):
+    dims = [int(x) for x in str(args.dims).split("x")]
+    if len(dims) == 1:
+        return LineNetwork(dims[0], buffer_size=args.B, capacity=args.c)
+    return GridNetwork(tuple(dims), buffer_size=args.B, capacity=args.c)
+
+
+def _build_workload(net, args):
+    if args.workload == "uniform":
+        return uniform_requests(net, args.requests, args.arrival_window, rng=args.seed)
+    if args.workload == "clogging":
+        return clogging_instance(net, duration=net.n // 2)
+    raise SystemExit(f"unknown workload {args.workload!r}")
+
+
+def _run_algorithm(name, net, reqs, horizon, seed):
+    if name == "greedy":
+        return run_greedy(net, reqs, horizon).throughput
+    if name == "ntg":
+        return run_nearest_to_go(net, reqs, horizon).throughput
+    if name == "det":
+        router = DeterministicRouter(net, horizon)
+    elif name == "rand":
+        router = RandomizedLineRouter(net, horizon, rng=seed, lam=0.5)
+    elif name == "bufferless":
+        router = BufferlessLineRouter(net, horizon)
+    elif name == "theorem13":
+        router = LargeCapacityRouter(net, horizon)
+    else:
+        raise SystemExit(f"unknown algorithm {name!r}")
+    plan = router.route(reqs)
+    result = execute_plan(net, plan.all_executable_paths(), reqs, horizon)
+    if not plan.consistent_with_simulation(result):
+        raise SystemExit("internal error: plan/simulation mismatch")
+    return plan.throughput
+
+
+def cmd_demo(args) -> int:
+    net = LineNetwork(args.n, buffer_size=args.B, capacity=args.c)
+    reqs = uniform_requests(net, 3 * args.n, args.n, rng=args.seed)
+    horizon = 4 * args.n
+    rows = []
+    for name in ("rand", "greedy", "ntg"):
+        try:
+            rows.append([name, _run_algorithm(name, net, reqs, horizon, args.seed)])
+        except Exception as exc:  # e.g. det needs B, c >= 3
+            rows.append([name, f"n/a ({exc})"])
+    rows.append(["offline bound", offline_bound(net, reqs, horizon)])
+    print(format_table(["algorithm", "throughput"], rows,
+                       title=f"demo on {net} ({len(reqs)} requests)"))
+    return 0
+
+
+def cmd_route(args) -> int:
+    net = _build_network(args)
+    reqs = _build_workload(net, args)
+    tput = _run_algorithm(args.algorithm, net, reqs, args.horizon, args.seed)
+    bound = offline_bound(net, reqs, args.horizon)
+    print(format_table(
+        ["algorithm", "requests", "throughput", "bound", "ratio"],
+        [[args.algorithm, len(reqs), tput, bound, bound / max(1, tput)]],
+        title=f"{net}",
+    ))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    net = _build_network(args)
+    reqs = _build_workload(net, args)
+    rows = []
+    for name in args.algorithms:
+        try:
+            tput = _run_algorithm(name, net, reqs, args.horizon, args.seed)
+        except Exception as exc:
+            rows.append([name, f"n/a: {exc}"])
+            continue
+        rows.append([name, tput])
+    rows.append(["offline bound", offline_bound(net, reqs, args.horizon)])
+    print(format_table(["algorithm", "throughput"], rows, title=f"{net}"))
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.analysis.viz import render_spacetime, render_tile_quadrants
+    from repro.spacetime.graph import SpaceTimeGraph, STPath
+    from repro.spacetime.tiling import Tiling
+
+    net = LineNetwork(8, buffer_size=2, capacity=2)
+    graph = SpaceTimeGraph(net, 16)
+    path = STPath((1, -1), (0, 1, 0, 1, 1, 0, 0), rid=0)
+    print("Figure 3 (untilted space-time graph, one detailed path, tiles):\n")
+    print(render_spacetime(graph, [path], tiling=Tiling((4, 4)),
+                           col_lo=-4, col_hi=12))
+    print("\nFigure 8/9 (tile quadrants and routing roles):\n")
+    print(render_tile_quadrants(8, 8))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Even & Medina, SPAA 2011 -- online packet routing in "
+        "grids with bounded buffers",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="quick scoreboard on a line")
+    p.add_argument("-n", type=int, default=64)
+    p.add_argument("-B", type=int, default=1)
+    p.add_argument("-c", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_demo)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--dims", default="32", help="e.g. 64 or 8x8")
+    common.add_argument("-B", type=int, default=3)
+    common.add_argument("-c", type=int, default=3)
+    common.add_argument("--requests", type=int, default=100)
+    common.add_argument("--arrival-window", type=int, default=32)
+    common.add_argument("--horizon", type=int, default=128)
+    common.add_argument("--workload", default="uniform",
+                        choices=("uniform", "clogging"))
+    common.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("route", parents=[common], help="run one algorithm")
+    p.add_argument("algorithm", choices=ALGORITHMS)
+    p.set_defaults(fn=cmd_route)
+
+    p = sub.add_parser("compare", parents=[common], help="compare algorithms")
+    p.add_argument("algorithms", nargs="+", choices=ALGORITHMS)
+    p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("figures", help="paper figures as ASCII")
+    p.set_defaults(fn=cmd_figures)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

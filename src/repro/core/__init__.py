@@ -1,0 +1,27 @@
+"""The paper's contribution: online packet-routing algorithms for grids.
+
+* :mod:`repro.core.base` -- router interfaces and plan containers.
+* :mod:`repro.core.deterministic` -- the deterministic algorithm
+  (Algorithm 1, Sections 4-6) with deadline support and the bufferless /
+  large-capacity variants.
+* :mod:`repro.core.randomized` -- the randomized O(log n) algorithm for
+  uni-directional lines (Section 7) and its large/small buffer variants.
+"""
+
+from repro.core.base import Plan, RouteOutcome, Router
+from repro.core.deterministic import DeterministicRouter
+from repro.core.deterministic.variants import (
+    BufferlessLineRouter,
+    LargeCapacityRouter,
+)
+from repro.core.randomized import RandomizedLineRouter
+
+__all__ = [
+    "BufferlessLineRouter",
+    "DeterministicRouter",
+    "LargeCapacityRouter",
+    "Plan",
+    "RandomizedLineRouter",
+    "RouteOutcome",
+    "Router",
+]

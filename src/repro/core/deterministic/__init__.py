@@ -1,0 +1,20 @@
+"""The deterministic online algorithm (Algorithm 1, Sections 4-6).
+
+Pipeline per request (Section 4): reduce to a path request on the
+``{1, d+1, inf}``-sketch graph, run online integral path packing (ipp),
+then *detailed routing* translates the sketch path into a space-time path
+using three capacity tracks (Section 5.2.1):
+
+* track 1 -- special (first/last) segments, resolved by online interval
+  packing per row/column (Section 5.2.2);
+* track 2 -- internal segments, bends inside bend tiles (Section 5.2.3);
+* track 3 -- routing inside the last tile with nearest-destination
+  preemption (Section 5.2.4).
+
+Requiring one unit of capacity per track is why the algorithm needs
+``B, c >= 3``.
+"""
+
+from repro.core.deterministic.framework import DeterministicRouter
+
+__all__ = ["DeterministicRouter"]

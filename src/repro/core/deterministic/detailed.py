@@ -1,0 +1,508 @@
+"""Detailed routing: sketch paths to space-time paths (Section 5.2).
+
+The translation reserves capacity on three *tracks* -- disjoint units of
+capacity on every space-time edge (Section 5.2.1, "Reservation of
+Capacities"; this is why the deterministic algorithm needs ``B, c >= 3``):
+
+* **track 1** (special segments): the first segment runs straight from the
+  source vertex into the first bend tile, the last segment straight from
+  the last bend tile to the entry of the last tile.  Contention is resolved
+  by online preemptive interval packing per grid line (Section 5.2.2);
+  the first segment conservatively reserves through the whole bend tile and
+  is shrunk once the bend position is fixed.
+* **track 2** (internal segments): between the first and last bends the
+  path crosses tiles, bending inside *bend tiles*.  The paper resolves
+  conflicts with the knock-knee automaton (Section 5.2.3); this
+  implementation chooses, equivalently at the reservation level, the first
+  bend offset ``s`` inside the bend tile for which the pre-bend cells and
+  the entire post-bend straight run to the next bend tile are free --
+  the "try next crossing" rule executed eagerly.  A request with no
+  feasible bend is preempted (the paper proves this never happens under
+  the IPP load guarantee; the benches count occurrences).
+* **track 3** (last tile): a straight climb from the entry point to the
+  destination's coordinates; on conflicts the path with the *nearest*
+  destination preempts the others (Section 5.2.4).
+
+A packet is delivered the moment its space coordinates equal the
+destination (packets are removed on arrival, Section 2.1), so every
+straight run is checked for destination touches and truncated there.
+
+Preemption bookkeeping: every committed move of a request is tagged with
+its track so a preempted request can be truncated at the exact conflict
+cell -- its prefix stays reserved (the packet physically travelled that
+far) and is replayed by the simulator as a dropped packet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import Plan, RouteOutcome
+from repro.packing.interval import Interval, OnlineIntervalPacker
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.spacetime.tiling import Tiling
+from repro.util.errors import RoutingError
+
+
+def line_key(vertex: tuple, axis: int) -> tuple:
+    """Identifier of the grid line through ``vertex`` along ``axis``: the
+    axis plus every other coordinate."""
+    return (axis, vertex[:axis] + vertex[axis + 1 :])
+
+
+def advance(vertex: tuple, axis: int, steps: int) -> tuple:
+    out = list(vertex)
+    out[axis] += steps
+    return tuple(out)
+
+
+@dataclass
+class IntervalRecord:
+    """One track-1 interval held by a request, with its path alignment.
+
+    Path moves ``start_idx .. start_idx + used - 1`` sit on coordinates
+    ``iv.lo .. iv.lo + used - 1`` of the line; the interval may extend past
+    ``used`` while a bend position is still undecided."""
+
+    key: tuple
+    iv: Interval
+    start_idx: int
+
+    def move_index_of(self, coord: int) -> int:
+        return self.start_idx + (coord - self.iv.lo)
+
+
+@dataclass
+class Build:
+    """Mutable per-request routing state."""
+
+    request: object
+    start: tuple
+    moves: list = field(default_factory=list)
+    tracks: list = field(default_factory=list)  # track id per move
+    tails: list = field(default_factory=list)  # tail vertex per move
+    records: list = field(default_factory=list)  # IntervalRecord list
+    status: RouteOutcome | None = None
+    delivered_time: int | None = None
+
+    @property
+    def rid(self) -> int:
+        return self.request.rid
+
+    @property
+    def pos(self) -> tuple:
+        if not self.moves:
+            return self.start
+        return advance_path_end(self)
+
+    def path(self) -> STPath:
+        return STPath(self.start, tuple(self.moves), rid=self.rid)
+
+
+def advance_path_end(build: Build) -> tuple:
+    v = list(build.start)
+    d = len(build.start) - 1
+    for m in build.moves:
+        if m == d:
+            v[-1] += 1
+        else:
+            v[m] += 1
+    return tuple(v)
+
+
+class DetailedRouting:
+    """Shared detailed-routing state across all requests of one run."""
+
+    TRACK_SPECIAL = 1
+    TRACK_INTERNAL = 2
+    TRACK_LAST = 3
+
+    def __init__(self, graph: SpaceTimeGraph, tiling: Tiling):
+        self.graph = graph
+        self.tiling = tiling
+        self.d = graph.d
+        self.track2 = graph.ledger(capacity_override=1)
+        self.track3 = graph.ledger(capacity_override=1)
+        self.packers: dict = {}  # line_key -> OnlineIntervalPacker
+        self.owner3: dict = {}  # (move, tail) -> rid, for track-3 preemption
+        self.builds: dict = {}  # rid -> Build
+        self.counters: dict = {
+            "delivered": 0,
+            "preempt_first_segment": 0,
+            "preempt_last_segment": 0,
+            "preempt_internal": 0,
+            "preempt_last_tile": 0,
+            "preempt_by_interval": 0,
+            "preempt_by_climb": 0,
+            "deadline_miss": 0,
+            "horizon_miss": 0,
+        }
+
+    # ------------------------------------------------------------------ utils
+
+    def _packer(self, key) -> OnlineIntervalPacker:
+        packer = self.packers.get(key)
+        if packer is None:
+            packer = self.packers[key] = OnlineIntervalPacker(key)
+        return packer
+
+    def _valid_extent(self, pos: tuple, axis: int, want: int) -> int:
+        """Number of consecutive valid cells along ``axis`` from ``pos``
+        (at most ``want``)."""
+        v = pos
+        ext = 0
+        while ext < want and self.graph.valid_move(v, axis):
+            v = advance(v, axis, 1)
+            ext += 1
+        return ext
+
+    def _touch_offset(self, pos: tuple, axis: int, length: int, dest: tuple):
+        """Offset ``o in [0, length]`` at which the run touches ``dest``
+        (space coordinates equal), or None."""
+        d = self.d
+        for i in range(d):
+            if i != axis and pos[i] != dest[i]:
+                return None
+        if axis >= d:  # buffer run: space coordinates don't change
+            return 0 if pos[:-1] == dest else None
+        off = dest[axis] - pos[axis]
+        if 0 <= off <= length:
+            return off
+        return None
+
+    def _cells_free(self, ledger, pos: tuple, axis: int, length: int) -> bool:
+        v = pos
+        for _ in range(length):
+            if not self.graph.valid_move(v, axis) or ledger.residual(axis, v) < 1:
+                return False
+            v = advance(v, axis, 1)
+        return True
+
+    def _commit_run(self, build: Build, track: int, ledger, axis: int, length: int) -> None:
+        """Append ``length`` moves along ``axis`` to the build, charging
+        ``ledger`` when given (track-1 cells are owned by the packers)."""
+        v = build.pos
+        for _ in range(length):
+            if ledger is not None:
+                ledger.add_edge(axis, v)
+                if track == self.TRACK_LAST:
+                    self.owner3[(axis, v)] = build.rid
+            build.moves.append(axis)
+            build.tracks.append(track)
+            build.tails.append(v)
+            v = advance(v, axis, 1)
+
+    # -------------------------------------------------------------- preemption
+
+    def truncate(self, rid: int, idx: int, reason: str) -> None:
+        """Preempt request ``rid`` at move index ``idx``: free everything it
+        reserved from that move on; the prefix stays (physically consumed)."""
+        build = self.builds[rid]
+        if build.status == RouteOutcome.PREEMPTED and len(build.moves) <= idx:
+            return
+        for i in range(idx, len(build.moves)):
+            track, move, tail = build.tracks[i], build.moves[i], build.tails[i]
+            if track == self.TRACK_INTERNAL:
+                self.track2.add_edge(move, tail, -1, strict=False)
+            elif track == self.TRACK_LAST:
+                self.track3.add_edge(move, tail, -1, strict=False)
+                self.owner3.pop((move, tail), None)
+        # shrink / drop track-1 intervals past the truncation point
+        kept_records = []
+        for rec in build.records:
+            end_idx = rec.start_idx + (rec.iv.hi - rec.iv.lo)
+            packer = self._packer(rec.key)
+            if rec.start_idx >= idx:
+                if packer.holds(rec.iv):
+                    packer.replace(rec.iv, None)
+                continue
+            if end_idx > idx:
+                keep = idx - rec.start_idx
+                new_iv = Interval(rec.iv.lo, rec.iv.lo + keep, owner=rid) if keep > 0 else None
+                if packer.holds(rec.iv):
+                    packer.replace(rec.iv, new_iv)
+                elif new_iv is not None:
+                    packer.insert_raw(new_iv)
+                if new_iv is not None:
+                    rec.iv = new_iv
+                    kept_records.append(rec)
+            else:
+                kept_records.append(rec)
+        build.records = kept_records
+        del build.moves[idx:]
+        del build.tracks[idx:]
+        del build.tails[idx:]
+        build.status = RouteOutcome.PREEMPTED
+        build.delivered_time = None
+        self.counters[reason] = self.counters.get(reason, 0) + 1
+
+    # ---------------------------------------------------------------- track 1
+
+    def _offer_interval(self, build: Build, key: tuple, iv: Interval) -> bool:
+        """Offer a special-segment interval; on acceptance, preempt victims
+        at the exact conflict coordinate (Section 5.2.2 / Prop. 8)."""
+        packer = self._packer(key)
+        accepted, victims = packer.offer(iv)
+        if not accepted:
+            return False
+        for victim in victims:
+            conflict = max(iv.lo, victim.lo)
+            vb = self.builds.get(victim.owner)
+            if vb is None:
+                continue
+            rec = next(
+                (r for r in vb.records if r.key == key and r.iv == victim), None
+            )
+            if rec is None:
+                # victim interval no longer maps to a live record
+                continue
+            # re-insert the physically consumed prefix of the victim
+            cut = rec.move_index_of(conflict)
+            cut = max(0, min(cut, len(vb.moves)))
+            self.truncate(victim.owner, cut, "preempt_by_interval")
+        build.records.append(IntervalRecord(key=key, iv=iv, start_idx=len(build.moves)))
+        return True
+
+    def _shrink_first_interval(self, build: Build, rec: IntervalRecord, used: int) -> None:
+        """Fix the first-segment reservation to its actual use (bend chosen)."""
+        packer = self._packer(rec.key)
+        if used == rec.iv.hi - rec.iv.lo:
+            return
+        new_iv = Interval(rec.iv.lo, rec.iv.lo + used, owner=build.rid) if used > 0 else None
+        if packer.holds(rec.iv):
+            packer.replace(rec.iv, new_iv)
+        if new_iv is None:
+            build.records.remove(rec)
+        else:
+            rec.iv = new_iv
+
+    # -------------------------------------------------------------- main entry
+
+    def route_request(self, request, tiles, moves) -> RouteOutcome:
+        """Translate one accepted sketch path into a space-time path."""
+        from repro.core.deterministic.geometry import runs_of
+
+        src = self.graph.source_vertex(request)
+        build = Build(request=request, start=src)
+        self.builds[request.rid] = build
+        runs = runs_of(moves)
+
+        if not runs:
+            outcome = self._route_last_tile(build, tiles[-1])
+        else:
+            outcome = self._route_runs(build, tiles, runs)
+            if outcome is None:
+                outcome = self._route_last_tile(build, tiles[-1])
+        build.status = outcome
+        if outcome == RouteOutcome.DELIVERED:
+            self.counters["delivered"] += 1
+        return outcome
+
+    # ------------------------------------------------------------ the segments
+
+    def _route_runs(self, build: Build, tiles, runs):
+        """Reserve the first segment, internal bends, and last segment.
+
+        Returns None when routing should continue into the last tile, or a
+        terminal :class:`RouteOutcome`."""
+        request = build.request
+        dest = request.dest
+        graph, tiling = self.graph, self.tiling
+
+        # ---- first segment (track 1, Section 5.2.2)
+        a0 = runs[0].axis
+        multi = len(runs) >= 2
+        bend_tile = tiles[runs[0].end]
+        lo_b1, hi_b1 = tiling.ranges(bend_tile)[a0]
+        p0 = build.start[a0]
+        need = lo_b1 - p0  # cells to reach the entry of the bend/last tile
+        reserve = (hi_b1 - p0) if multi else need
+        touch = self._touch_offset(build.start, a0, need, dest)
+        if touch is not None:
+            need = reserve = touch
+        ext = self._valid_extent(build.start, a0, reserve)
+        if ext < need:
+            self.counters["horizon_miss"] += 1
+            return RouteOutcome.PREEMPTED
+        key = line_key(build.start, a0)
+        if ext > 0:
+            iv = Interval(p0, p0 + ext, owner=build.rid)
+            if not self._offer_interval(build, key, iv):
+                self.counters["preempt_first_segment"] += 1
+                return RouteOutcome.PREEMPTED
+        first_rec = build.records[-1] if ext > 0 else None
+        self._commit_run(build, self.TRACK_SPECIAL, None, a0, need)
+        if touch is not None:
+            if first_rec is not None:
+                self._shrink_first_interval(build, first_rec, need)
+            return self._finish_delivery(build)
+
+        # ---- bends: runs[1..] (Sections 5.2.3 and 5.2.2 for the last one)
+        for j in range(1, len(runs)):
+            run_prev, run = runs[j - 1], runs[j]
+            a_prev, a_j = run_prev.axis, run.axis
+            bend_tile = tiles[run.start]
+            target_tile = tiles[run.end]
+            is_last_seg = j == len(runs) - 1
+            pos = build.pos
+            lo_t = tiling.ranges(target_tile)[a_j][0]
+            lo_bt, hi_bt = tiling.ranges(bend_tile)[a_prev]
+            max_s = hi_bt - 1 - pos[a_prev]
+            if j == 1 and first_rec is not None:
+                # pre-bend cells must stay inside the reserved interval
+                max_s = min(max_s, first_rec.iv.hi - 1 - pos[a_prev])
+            chosen = None
+            for s in range(0, max_s + 1):
+                p_s = advance(pos, a_prev, s)
+                if j > 1:
+                    if not self._cells_free(self.track2, pos, a_prev, s):
+                        # pre-bend run blocked; larger s only adds cells
+                        break
+                pre_touch = self._touch_offset(pos, a_prev, s, dest)
+                if pre_touch is not None and pre_touch < s:
+                    s = pre_touch
+                    chosen = (s, None, True)
+                    break
+                post_len = lo_t - p_s[a_j]
+                post_touch = self._touch_offset(p_s, a_j, post_len, dest)
+                eff_len = post_touch if post_touch is not None else post_len
+                if self._valid_extent(p_s, a_j, eff_len) < eff_len:
+                    continue
+                if is_last_seg:
+                    ivk = line_key(p_s, a_j)
+                    if eff_len > 0 and not self._packer(ivk).would_accept(
+                        Interval(p_s[a_j], p_s[a_j] + eff_len, owner=build.rid)
+                    ):
+                        continue
+                else:
+                    if not self._cells_free(self.track2, p_s, a_j, eff_len):
+                        continue
+                chosen = (s, (eff_len, post_touch is not None), False)
+                break
+            if chosen is None:
+                reason = (
+                    "preempt_last_segment" if is_last_seg else "preempt_internal"
+                )
+                self.truncate(build.rid, len(build.moves), reason)
+                return RouteOutcome.PREEMPTED
+            s, post, pre_touched = chosen
+            # commit pre-bend cells
+            pre_track = self.TRACK_SPECIAL if j == 1 else self.TRACK_INTERNAL
+            pre_ledger = None if j == 1 else self.track2
+            self._commit_run(build, pre_track, pre_ledger, a_prev, s)
+            if j == 1 and first_rec is not None:
+                used = build.pos[a_prev] - first_rec.iv.lo
+                self._shrink_first_interval(build, first_rec, used)
+            if pre_touched:
+                return self._finish_delivery(build)
+            eff_len, touched = post
+            if is_last_seg and not touched:
+                pos2 = build.pos
+                ivk = line_key(pos2, a_j)
+                iv = Interval(pos2[a_j], pos2[a_j] + eff_len, owner=build.rid)
+                if eff_len > 0 and not self._offer_interval(build, ivk, iv):
+                    self.truncate(build.rid, len(build.moves), "preempt_last_segment")
+                    return RouteOutcome.PREEMPTED
+                self._commit_run(build, self.TRACK_SPECIAL, None, a_j, eff_len)
+            else:
+                track = self.TRACK_SPECIAL if is_last_seg else self.TRACK_INTERNAL
+                ledger = None if is_last_seg else self.track2
+                if is_last_seg and eff_len > 0:
+                    # delivery touch on the last segment: still interval-packed
+                    ivk = line_key(build.pos, a_j)
+                    iv = Interval(
+                        build.pos[a_j], build.pos[a_j] + eff_len, owner=build.rid
+                    )
+                    if not self._offer_interval(build, ivk, iv):
+                        self.truncate(
+                            build.rid, len(build.moves), "preempt_last_segment"
+                        )
+                        return RouteOutcome.PREEMPTED
+                    ledger = None
+                self._commit_run(build, track, ledger, a_j, eff_len)
+                if touched:
+                    return self._finish_delivery(build)
+        return None
+
+    # ------------------------------------------------------------- last tile
+
+    def _route_last_tile(self, build: Build, last_tile) -> RouteOutcome:
+        """Track-3 climb to the destination (Section 5.2.4), dimension order
+        for d > 1, nearest-destination preemption on conflicts."""
+        request = build.request
+        dest = request.dest
+        for axis in range(self.d):
+            pos = build.pos
+            gap = dest[axis] - pos[axis]
+            if gap < 0:
+                self.truncate(build.rid, len(build.moves), "preempt_last_tile")
+                return RouteOutcome.PREEMPTED
+            if gap == 0:
+                continue
+            if self._valid_extent(pos, axis, gap) < gap:
+                self.counters["horizon_miss"] += 1
+                self.truncate(build.rid, len(build.moves), "preempt_last_tile")
+                return RouteOutcome.PREEMPTED
+            # collect climbing conflicts along the run
+            blockers: set = set()
+            v = pos
+            for _ in range(gap):
+                if self.track3.residual(axis, v) < 1:
+                    owner = self.owner3.get((axis, v))
+                    if owner is None:
+                        blockers.add(-1)
+                    else:
+                        blockers.add(owner)
+                v = advance(v, axis, 1)
+            if blockers:
+                # nearest destination wins (Section 5.2.4)
+                if -1 in blockers or any(
+                    self.builds[o].request.dest[axis] <= dest[axis]
+                    for o in blockers
+                ):
+                    self.truncate(build.rid, len(build.moves), "preempt_last_tile")
+                    return RouteOutcome.PREEMPTED
+                for o in sorted(blockers):
+                    idx = self._first_conflict_index(o, axis, pos, gap)
+                    self.truncate(o, idx, "preempt_by_climb")
+            self._commit_run(build, self.TRACK_LAST, self.track3, axis, gap)
+        return self._finish_delivery(build)
+
+    def _first_conflict_index(self, victim_rid: int, axis: int, pos: tuple, gap: int) -> int:
+        vb = self.builds[victim_rid]
+        cells = set()
+        v = pos
+        for _ in range(gap):
+            cells.add((axis, v))
+            v = advance(v, axis, 1)
+        for i, (m, tail) in enumerate(zip(vb.moves, vb.tails)):
+            if (m, tail) in cells:
+                return i
+        return len(vb.moves)
+
+    # ------------------------------------------------------------- delivery
+
+    def _finish_delivery(self, build: Build) -> RouteOutcome:
+        pos = build.pos
+        if pos[:-1] != build.request.dest:
+            raise RoutingError(
+                f"request {build.rid} finished at {pos}, not its destination"
+            )
+        t = self.graph.vertex_time(pos)
+        deadline = build.request.deadline
+        if deadline is not None and t > deadline:
+            self.truncate(build.rid, len(build.moves), "deadline_miss")
+            return RouteOutcome.PREEMPTED
+        build.delivered_time = t
+        return RouteOutcome.DELIVERED
+
+    # ------------------------------------------------------------- plan export
+
+    def finalize(self, plan: Plan) -> Plan:
+        for rid, build in self.builds.items():
+            if build.status == RouteOutcome.DELIVERED:
+                plan.record(rid, RouteOutcome.DELIVERED, build.path())
+            elif build.status == RouteOutcome.PREEMPTED:
+                plan.record(rid, RouteOutcome.PREEMPTED, build.path())
+        plan.meta.setdefault("detailed", {}).update(self.counters)
+        return plan

@@ -1,0 +1,77 @@
+"""Sketch-path geometry: tiles, moves and segment runs.
+
+A sketch path returned by IPP over the split sketch graph visits nodes
+``("in", T0), ("out", T0), ("in", T1), ..., ("out", TL), ("sink", key)``.
+Detailed routing needs (i) the tile sequence ``T0..TL``, (ii) the axis of
+each tile-to-tile move, and (iii) the decomposition of the move sequence
+into maximal same-axis *runs*: the first run is the first special segment,
+the last run the last special segment, and the runs in between are the
+internal segments (Section 5.2.1, "Partitioning of Detailed Routing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import RoutingError
+
+
+def sketch_tiles(oracle_path) -> list:
+    """Tile sequence of a split-sketch oracle path (sink node dropped)."""
+    tiles = []
+    for node in oracle_path.nodes:
+        kind = node[0]
+        if kind == "sink":
+            continue
+        if kind == "in":
+            tiles.append(node[1])
+        elif kind == "out":
+            if not tiles or tiles[-1] != node[1]:
+                raise RoutingError(f"malformed sketch path near {node}")
+    if not tiles:
+        raise RoutingError("sketch path visits no tiles")
+    return tiles
+
+
+def plain_sketch_tiles(oracle_path) -> list:
+    """Tile sequence of a plain-sketch oracle path (randomized algorithm)."""
+    return [node[1] for node in oracle_path.nodes if node[0] == "t"]
+
+
+def tile_moves(tiles) -> list:
+    """Axis of each tile-to-tile step (must differ in exactly one axis)."""
+    moves = []
+    for a, b in zip(tiles, tiles[1:]):
+        diff = [i for i, (x, y) in enumerate(zip(a, b)) if x != y]
+        if len(diff) != 1 or b[diff[0]] - a[diff[0]] != 1:
+            raise RoutingError(f"non-adjacent sketch tiles {a} -> {b}")
+        moves.append(diff[0])
+    return moves
+
+
+@dataclass(frozen=True)
+class Run:
+    """A maximal same-axis run of sketch moves.
+
+    ``start``/``end`` index tiles: the run leaves ``tiles[start]`` and,
+    after ``count`` boundary crossings along ``axis``, arrives in
+    ``tiles[end]`` (``end = start + count``).
+    """
+
+    axis: int
+    count: int
+    start: int
+    end: int
+
+
+def runs_of(moves) -> list:
+    """Group ``moves`` into maximal same-axis :class:`Run` objects."""
+    runs: list = []
+    i = 0
+    while i < len(moves):
+        j = i
+        while j < len(moves) and moves[j] == moves[i]:
+            j += 1
+        runs.append(Run(axis=moves[i], count=j - i, start=i, end=j))
+        i = j
+    return runs

@@ -1,0 +1,158 @@
+"""The knock-knee tile automaton (Section 5.2.3, Figure 6), d = 1.
+
+Detailed routing of internal segments resolves conflicts with three
+node-local rules.  At every space-time node inside a tile, with ``horzin``
+the path arriving on the horizontal (buffer) edge and ``vertin`` the path
+arriving on the vertical (transmit) edge:
+
+1. if one incoming edge is free, the other path moves toward its exit side;
+2. (*precedence to straight traffic*) if ``horzin`` exits east or
+   ``vertin`` exits north, both continue without bending;
+3. otherwise a *knock-knee* bend: they swap directions (Figure 6).
+
+The paper proves that with at most ``k`` paths per tile side (the IPP load
+guarantee) every path reaches its required exit side.  The production
+pipeline in :mod:`repro.core.deterministic.detailed` uses an equivalent
+reservation-time rule; this module implements the automaton verbatim as a
+dataflow over the tile's nodes so the claim itself can be tested and
+benchmarked (experiment E11), and to serve as ground truth for the bend
+mechanics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+WEST, SOUTH = "W", "S"
+EAST, NORTH = "E", "N"
+
+
+@dataclass
+class TilePath:
+    """One path crossing a ``k x k`` tile.
+
+    ``entry`` is ``(side, lane)`` -- entering from the west at row ``lane``
+    or from the south at column ``lane`` -- or ``("I", (row, col))`` for a
+    path that starts inside the tile (a first segment bending here).
+    ``exit_side`` is ``"E"`` or ``"N"``.
+    """
+
+    name: object
+    entry: tuple
+    exit_side: str
+    cells: list = field(default_factory=list)  # visited (row, col) nodes
+    out: tuple | None = None  # (side, lane) on success
+    failed: bool = False
+
+
+class KnockKneeTile:
+    """Run the Section 5.2.3 automaton over one tile."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValidationError("tile side must be >= 1")
+        self.k = k
+
+    def route(self, paths) -> list:
+        """Compute every path's route through the tile.
+
+        Nodes are processed in topological (dataflow) order; each node
+        applies rules 1-3.  Returns the input list with ``cells``, ``out``
+        and ``failed`` filled in.
+        """
+        k = self.k
+        # incoming occupancy per node: horz[r][c] = path entering (r, c)
+        # from the west; vert[r][c] = from the south
+        horz = [[None] * (k + 1) for _ in range(k + 1)]
+        vert = [[None] * (k + 1) for _ in range(k + 1)]
+        starts = {}
+        for p in paths:
+            p.cells, p.out, p.failed = [], None, False
+            side, lane = p.entry
+            if side == WEST:
+                if not 0 <= lane < k:
+                    raise ValidationError(f"bad west lane {lane}")
+                if horz[lane][0] is not None:
+                    raise ValidationError(f"duplicate west entry at row {lane}")
+                horz[lane][0] = p
+            elif side == SOUTH:
+                if not 0 <= lane < k:
+                    raise ValidationError(f"bad south lane {lane}")
+                if vert[0][lane] is not None:
+                    raise ValidationError(f"duplicate south entry at col {lane}")
+                vert[0][lane] = p
+            elif side == "I":
+                starts.setdefault(tuple(lane), []).append(p)
+            else:
+                raise ValidationError(f"unknown entry side {side}")
+
+        def send(p, r, c, direction):
+            """Forward path p out of node (r, c)."""
+            if direction == EAST:
+                if c + 1 >= k:
+                    p.out = (EAST, r)
+                    p.failed = p.exit_side != EAST
+                else:
+                    horz[r][c + 1] = p
+            else:
+                if r + 1 >= k:
+                    p.out = (NORTH, c)
+                    p.failed = p.exit_side != NORTH
+                else:
+                    vert[r + 1][c] = p
+
+        # dataflow order: a node's inputs come from the west and south
+        for diag in range(2 * k - 1):
+            for r in range(max(0, diag - k + 1), min(k, diag + 1)):
+                c = diag - r
+                h, v = horz[r][c], vert[r][c]
+                for p in starts.get((r, c), ()):  # interior starts
+                    if h is None:
+                        h = p
+                    elif v is None:
+                        v = p
+                    else:
+                        p.failed = True
+                        continue
+                    p.cells.append((r, c))
+                if h is not None:
+                    h.cells.append((r, c))
+                if v is not None:
+                    v.cells.append((r, c))
+                if h is not None and v is None:
+                    send(h, r, c, EAST if h.exit_side == EAST else NORTH)
+                elif v is not None and h is None:
+                    send(v, r, c, NORTH if v.exit_side == NORTH else EAST)
+                elif h is not None and v is not None:
+                    if h.exit_side == EAST or v.exit_side == NORTH:
+                        # rule 2: precedence to straight traffic
+                        send(h, r, c, EAST)
+                        send(v, r, c, NORTH)
+                    else:
+                        # rule 3: knock-knee (Figure 6)
+                        send(h, r, c, NORTH)
+                        send(v, r, c, EAST)
+                horz[r][c] = vert[r][c] = None
+        return list(paths)
+
+    def count_bends(self, paths) -> int:
+        """Total direction changes across a routed path set (knock-knee
+        partners contribute two: one bend each, Figure 6)."""
+        bends = 0
+        for p in paths:
+            d_prev = None
+            for a, b in zip(p.cells, p.cells[1:]):
+                d = NORTH if b[0] > a[0] else EAST
+                if d_prev is not None and d != d_prev:
+                    bends += 1
+                d_prev = d
+        return bends
+
+
+def always_succeeds(k: int, paths) -> bool:
+    """Convenience wrapper: route and report whether every path exited on
+    its required side (the Section 5.2.3 claim)."""
+    routed = KnockKneeTile(k).route(paths)
+    return all(not p.failed for p in routed)

@@ -1,0 +1,164 @@
+"""The d-dimensional knock-knee rules (Section 6, item (5)).
+
+Every space-time node of a (d+1)-dimensional tile has ``d + 1`` incoming
+and ``d + 1`` outgoing edges.  Writing ``in_j.r`` for the request entering
+on axis ``j`` and ``l_j`` for its required exit axis in this tile, the
+rules are, for every ``j``:
+
+(a) *straight*: if ``l_j = j`` then ``out_j = in_j``;
+(b) *try next crossing*: else if ``in_{l_j}.r`` exists and does not want
+    ``j``, then ``out_j = in_j`` (keep going, look for a later crossing);
+(c) else if ``in_{l_j}.r`` wants ``j`` (a knock-knee swap) or
+    (``in_{l_j}`` is free and ``j`` is the smallest axis whose path wants
+    ``l_j``), then ``out_{l_j} = in_j`` and ``out_j = in_{l_j}``;
+(d) else ``out_j = in_j``.
+
+The paper's observation: a path that fails to turn at a node crosses a
+*different* request that exits the tile successfully, and since at most
+``k`` requests share a sketch edge, every path finds its turn within the
+tile.  This module executes the rules verbatim as a dataflow over the
+tile's nodes, generalizing :mod:`repro.core.deterministic.knockknee` to
+any dimension, so the d-dimensional claim is testable (Theorem 10's
+detailed-routing step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class DPath:
+    """A path crossing a ``side^(d+1)`` tile.
+
+    ``entry_axis`` is the axis along which it enters (its position on the
+    entry face is ``entry_pos``, a full coordinate tuple with
+    ``entry_pos[entry_axis] == 0``); ``exit_axis`` is the axis whose far
+    face it must leave through.
+    """
+
+    name: object
+    entry_axis: int
+    entry_pos: tuple
+    exit_axis: int
+    cells: list = field(default_factory=list)
+    out_pos: tuple | None = None
+    failed: bool = False
+
+
+class KnockKneeCube:
+    """Section 6 rules (a)-(d) over one (d+1)-dimensional tile."""
+
+    def __init__(self, naxes: int, side: int):
+        if naxes < 2 or side < 1:
+            raise ValidationError("need >= 2 axes and side >= 1")
+        self.naxes = naxes
+        self.side = side
+
+    def route(self, paths) -> list:
+        naxes, side = self.naxes, self.side
+        # incoming[axis][pos] = path arriving at pos along axis
+        incoming = [dict() for _ in range(naxes)]
+        for p in paths:
+            p.cells, p.out_pos, p.failed = [], None, False
+            if len(p.entry_pos) != naxes:
+                raise ValidationError(f"bad position arity for {p.name}")
+            if p.entry_pos[p.entry_axis] != 0:
+                raise ValidationError(
+                    f"{p.name}: entry position must sit on the entry face"
+                )
+            if p.entry_pos in incoming[p.entry_axis]:
+                raise ValidationError(f"duplicate entry at {p.entry_pos}")
+            incoming[p.entry_axis][p.entry_pos] = p
+
+        def nodes_in_topo_order():
+            import itertools
+
+            all_nodes = itertools.product(*(range(side) for _ in range(naxes)))
+            return sorted(all_nodes, key=sum)
+
+        def send(p, pos, axis):
+            nxt = list(pos)
+            nxt[axis] += 1
+            if nxt[axis] >= side:
+                p.out_pos = tuple(nxt)
+                p.failed = axis != p.exit_axis
+            else:
+                incoming[axis][tuple(nxt)] = p
+
+        for node in nodes_in_topo_order():
+            arr = [incoming[a].pop(node, None) for a in range(naxes)]
+            if not any(arr):
+                continue
+            for p in arr:
+                if p is not None:
+                    p.cells.append(node)
+            out = [None] * naxes
+            for j in range(naxes):
+                p = arr[j]
+                if p is None or out[j] is not None and out[j] is p:
+                    continue
+                lj = p.exit_axis
+                if lj == j:  # (a) straight
+                    if out[j] is None:
+                        out[j] = p
+                    continue
+                partner = arr[lj]
+                if partner is not None and partner.exit_axis != j:
+                    # (b) the crossing path continues toward its own exit;
+                    # try the next crossing
+                    if out[j] is None:
+                        out[j] = p
+                    continue
+                if partner is not None and partner.exit_axis == j:
+                    # (c) knock-knee swap
+                    if out[lj] is None and out[j] is None:
+                        out[lj] = p
+                        out[j] = partner
+                    elif out[j] is None:
+                        out[j] = p
+                    continue
+                # partner is None: (c) lowest-index path wanting l_j turns
+                smallest = min(
+                    (jj for jj in range(naxes)
+                     if arr[jj] is not None and arr[jj].exit_axis == lj
+                     and jj != lj),
+                    default=None,
+                )
+                if smallest == j and out[lj] is None:
+                    out[lj] = p
+                elif out[j] is None:
+                    out[j] = p  # (d)
+            for axis, p in enumerate(out):
+                if p is not None:
+                    send(p, node, axis)
+        return list(paths)
+
+
+def feasible_random_demand(naxes: int, side: int, rng, max_paths: int | None = None):
+    """Generate a random demand respecting the per-face load guarantee:
+    entry positions unique per face, at most ``side^(naxes-1)`` exits per
+    axis (the sketch-edge capacity analogue)."""
+    import itertools
+
+    max_paths = max_paths if max_paths is not None else side
+    paths = []
+    used_exit = {a: 0 for a in range(naxes)}
+    face_cap = side ** (naxes - 1)
+    taken = set()
+    for i in range(max_paths):
+        axis = int(rng.integers(0, naxes))
+        pos = [int(rng.integers(0, side)) for _ in range(naxes)]
+        pos[axis] = 0
+        pos = tuple(pos)
+        if (axis, pos) in taken:
+            continue
+        taken.add((axis, pos))
+        exit_axis = int(rng.integers(0, naxes))
+        if used_exit[exit_axis] >= face_cap:
+            exit_axis = axis  # fall back to straight
+        used_exit[exit_axis] += 1
+        paths.append(DPath(f"p{i}", axis, pos, exit_axis))
+    return paths

@@ -1,0 +1,219 @@
+"""Special-case deterministic routers (Section 6).
+
+* :class:`BufferlessLineRouter` -- ``B = 0`` on a line: the space-time
+  graph decomposes into independent diagonals, each request is an interval
+  on its diagonal, and online preemptive interval packing is *optimal*
+  per diagonal -- this is exactly the nearest-to-go policy, Proposition 12.
+* :class:`LargeCapacityRouter` -- Theorem 13 (``B, c >= k``): scale the
+  capacities down by ``k``, run IPP directly on the space-time graph, and
+  the ``(2, k)``-competitive packing for the scaled capacities is an
+  ``(O(k), 1)``-packing for the true ones.  Packets are rejected or routed,
+  never preempted.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import Plan, RouteOutcome, Router
+from repro.network.topology import LineNetwork, Network
+from repro.packing.interval import Interval, OnlineIntervalPacker
+from repro.packing.ipp import OnlinePathPacking
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.util.errors import ValidationError
+
+INF = math.inf
+
+
+class BufferlessLineRouter(Router):
+    """Nearest-to-go as an optimal planner for ``B = 0`` lines.
+
+    With no buffers a packet injected at ``(a, t)`` must move every step:
+    its only possible path is the diagonal ``(a, t) -> (b, t + b - a)``,
+    i.e. the interval ``(a, b)`` on the line with untilted column
+    ``t - a``.  Per column the instance is interval packing; the online
+    preemptive GLL82 rule is optimal (Proposition 12).  Capacity ``c > 1``
+    is handled with ``c`` independent channels per column.
+    """
+
+    def __init__(self, network: LineNetwork, horizon: int):
+        if network.buffer_size != 0:
+            raise ValidationError("BufferlessLineRouter requires B = 0")
+        if network.d != 1:
+            raise ValidationError("BufferlessLineRouter is for lines")
+        self.network = network
+        self.horizon = int(horizon)
+        # (column, channel) -> packer
+        self.packers: dict = {}
+        self.assignment: dict = {}  # rid -> (column, channel, Interval)
+
+    def _packer(self, col: int, channel: int) -> OnlineIntervalPacker:
+        key = (col, channel)
+        packer = self.packers.get(key)
+        if packer is None:
+            packer = self.packers[key] = OnlineIntervalPacker(key)
+        return packer
+
+    def route(self, requests) -> Plan:
+        plan = Plan()
+        n = self.network.length
+        for r in self.arrival_order(requests):
+            self.network.check_request(r)
+            a, b, t = r.source[0], r.dest[0], r.arrival
+            arrive_at = t + (b - a)
+            if r.is_trivial():
+                plan.record(r.rid, RouteOutcome.DELIVERED,
+                            STPath((a, t - a), (), rid=r.rid))
+                continue
+            if arrive_at > self.horizon or (
+                r.deadline is not None and arrive_at > r.deadline
+            ):
+                plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            col = t - a
+            iv = Interval(a, b, owner=r.rid)
+            routed = False
+            # prefer a conflict-free channel; preempt only when forced
+            channels = sorted(
+                range(self.network.capacity),
+                key=lambda ch: bool(self._packer(col, ch).conflicting(iv)),
+            )
+            for channel in channels:
+                packer = self._packer(col, channel)
+                if not packer.would_accept(iv):
+                    continue
+                accepted, victims = packer.offer(iv)
+                assert accepted
+                for victim in victims:
+                    # preempted packet is dropped where the new one starts
+                    vcol, vch, viv = self.assignment[victim.owner]
+                    cut = max(iv.lo, victim.lo) - victim.lo
+                    prefix = (
+                        Interval(victim.lo, victim.lo + cut, owner=victim.owner)
+                        if cut > 0
+                        else None
+                    )
+                    if prefix is not None:
+                        packer.insert_raw(prefix)
+                    plan.record(
+                        victim.owner,
+                        RouteOutcome.PREEMPTED,
+                        STPath((victim.lo, vcol), (0,) * cut, rid=victim.owner),
+                    )
+                self.assignment[r.rid] = (col, channel, iv)
+                plan.record(
+                    r.rid,
+                    RouteOutcome.DELIVERED,
+                    STPath((a, col), (0,) * (b - a), rid=r.rid),
+                )
+                routed = True
+                break
+            if not routed:
+                plan.record(r.rid, RouteOutcome.REJECTED)
+        plan.meta["algorithm"] = "bufferless-ntg"
+        return plan
+
+
+class SpaceTimeDigraph:
+    """Digraph adapter exposing a space-time graph to the IPP algorithm.
+
+    Nodes are ``("v", vertex)`` plus per-request sinks; edge keys are
+    ``("e", tail, move)`` with the *scaled* capacities of Theorem 13 and
+    ``("k", vertex, rid)`` sink edges of infinite capacity.
+    """
+
+    def __init__(self, graph: SpaceTimeGraph, buffer_cap: int, link_cap: int):
+        self.graph = graph
+        self.buffer_cap = int(buffer_cap)
+        self.link_cap = int(link_cap)
+        self._sink_edges: dict = {}  # vertex -> [(edge_key, sink_node)]
+
+    def register_sink(self, request):
+        rid = request.rid
+        node = ("sink", rid)
+        count = 0
+        for col in self.graph.dest_columns(request):
+            v = (*request.dest, col)
+            if not self.graph.valid_vertex(v):
+                continue
+            if self.graph.vertex_time(v) < request.arrival + request.distance:
+                continue  # unreachable copies: arrival time physics
+            self._sink_edges.setdefault(v, []).append((("k", v, rid), node))
+            count += 1
+        return node if count else None
+
+    def out_edges(self, node):
+        if node[0] == "sink":
+            return
+        v = node[1]
+        for move in range(self.graph.d + 1):
+            cap = self.buffer_cap if move == self.graph.d else self.link_cap
+            if cap <= 0:
+                continue
+            head = self.graph.move_head(v, move)
+            if self.graph.valid_vertex(head):
+                yield ("e", v, move), ("v", head)
+        yield from self._sink_edges.get(v, ())
+
+    def capacity(self, edge_key) -> float:
+        if edge_key[0] == "k":
+            return INF
+        move = edge_key[2]
+        return self.buffer_cap if move == self.graph.d else self.link_cap
+
+    def is_sink(self, node) -> bool:
+        return node[0] == "sink"
+
+
+class LargeCapacityRouter(Router):
+    """Theorem 13: ``O(log n)``-competitive routing for large ``B`` and
+    ``c`` via online path packing on the space-time graph with capacities
+    scaled down by the tile side ``k``.  Non-preemptive."""
+
+    def __init__(self, network: Network, horizon: int, k: int | None = None,
+                 pmax: int | None = None, strict: bool = True):
+        self.network = network
+        self.graph = SpaceTimeGraph(network, horizon)
+        self.pmax = network.pmax() if pmax is None else int(pmax)
+        self.k = network.tile_side_k(self.pmax) if k is None else int(k)
+        B, c = network.buffer_size, network.capacity
+        if strict and (B < self.k or c < self.k):
+            raise ValidationError(
+                f"Theorem 13 requires B, c >= k = {self.k}; got B={B}, c={c}"
+            )
+        self.digraph = SpaceTimeDigraph(
+            self.graph, buffer_cap=B // self.k, link_cap=c // self.k
+        )
+        self.ipp = OnlinePathPacking(self.digraph, pmax=self.pmax)
+
+    def route(self, requests) -> Plan:
+        plan = Plan()
+        for r in self.arrival_order(requests):
+            self.network.check_request(r)
+            src = self.graph.source_vertex(r)
+            if r.is_trivial():
+                if self.graph.valid_vertex(src):
+                    plan.record(r.rid, RouteOutcome.DELIVERED, STPath(src, (), rid=r.rid))
+                else:
+                    plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            sink = self.digraph.register_sink(r)
+            if sink is None or not self.graph.valid_vertex(src):
+                plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            path = self.ipp.route(("v", src), sink)
+            if path is None:
+                plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            moves = tuple(
+                edge_key[2] for edge_key in path.edges if edge_key[0] == "e"
+            )
+            plan.record(r.rid, RouteOutcome.DELIVERED, STPath(src, moves, rid=r.rid))
+        plan.meta["algorithm"] = "theorem13-large-capacity"
+        plan.meta["k"] = self.k
+        plan.meta["ipp"] = {
+            "accepted": self.ipp.stats.accepted,
+            "rejected": self.ipp.stats.rejected,
+            "max_load_ratio": self.ipp.max_load_ratio(),
+        }
+        return plan

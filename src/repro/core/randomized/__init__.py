@@ -1,0 +1,26 @@
+"""The randomized O(log n)-competitive algorithm for lines (Section 7).
+
+Classify-and-select: random phase shifts split requests into ``Near``
+(deliverable inside their own tile) and ``Far+`` (far requests whose source
+lies in the SW quadrant); a fair coin picks which class to serve.  Far+
+requests go through online path packing on the sketch graph, random
+sparsification with a biased coin, a 1/4-load cap, and quadrant detailed
+routing (I-, T- and X-routing); Near requests are routed greedily along a
+vertical (transmit-every-step) path.  The algorithm is non-preemptive.
+"""
+
+from repro.core.randomized.combined import RandomizedLineRouter
+from repro.core.randomized.far_plus import FarPlusRouter
+from repro.core.randomized.near import NearRouter
+from repro.core.randomized.params import RandomizedParams
+from repro.core.randomized.large_buffers import LargeBufferLineRouter
+from repro.core.randomized.small_buffers import SmallBufferLineRouter
+
+__all__ = [
+    "FarPlusRouter",
+    "LargeBufferLineRouter",
+    "NearRouter",
+    "RandomizedLineRouter",
+    "RandomizedParams",
+    "SmallBufferLineRouter",
+]

@@ -1,0 +1,99 @@
+"""Classify-and-select: the complete randomized algorithm (Section 7.6).
+
+1. choose the tiling parameters ``tau, Q`` (Definition 15);
+2. draw phase shifts ``phi_tau, phi_Q`` uniformly at random;
+3. flip a fair coin ``b``;
+4. serve only ``Far+`` requests (with the Far+ algorithm) when ``b = 1``,
+   only ``Near`` requests (greedy vertical routing) when ``b = 0``.
+
+Theorem 29: for ``B, c in [1, log n]`` the expected competitive ratio is
+``O(log n)``.  The per-source-event cap of Proposition 14 (at most the
+``B + c`` closest requests per node and time step) is applied up front.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Plan, RouteOutcome, Router
+from repro.core.randomized.far_plus import FarPlusRouter
+from repro.core.randomized.near import NearRouter
+from repro.core.randomized.params import PAPER_GAMMA, RandomizedParams
+from repro.network.topology import Network
+from repro.util.rng import as_generator
+
+
+def proposition14_filter(requests, cap: int):
+    """Keep, per source event ``(node, t)``, only the ``cap`` requests with
+    the closest destinations (Proposition 14); returns (kept, dropped)."""
+    groups: dict = {}
+    for r in requests:
+        groups.setdefault((r.source, r.arrival), []).append(r)
+    kept, dropped = [], []
+    for group in groups.values():
+        group.sort(key=lambda r: (r.distance, r.rid))
+        kept.extend(group[:cap])
+        dropped.extend(group[cap:])
+    return kept, dropped
+
+
+class RandomizedLineRouter(Router):
+    """The full classify-and-select router (Theorem 29).
+
+    Parameters
+    ----------
+    network:
+        A line with ``B, c in [1, log n]``.
+    horizon:
+        Simulation horizon.
+    rng:
+        Seedable randomness source (phase shifts, class coin, sparsification
+        coins).
+    gamma / lam:
+        Sparsification constant (paper: 200) or a direct override of the
+        probability ``lambda``; see :class:`RandomizedParams`.
+    force_class:
+        ``"far"`` or ``"near"`` pins the class coin (used by the analysis
+        benches that study one class); ``None`` flips fairly.
+    """
+
+    def __init__(self, network: Network, horizon: int, rng=None,
+                 gamma: float = PAPER_GAMMA, lam: float | None = None,
+                 force_class: str | None = None):
+        self.network = network
+        self.horizon = int(horizon)
+        self.rng = as_generator(rng)
+        self.params = RandomizedParams.for_network(network, gamma=gamma, lam=lam)
+        self.force_class = force_class
+        # step 2: random phase shifts
+        self.phases = (
+            int(self.rng.integers(0, self.params.Q)),
+            int(self.rng.integers(0, self.params.tau)),
+        )
+        # step 3: fair class coin
+        if force_class is None:
+            self.serve_far = bool(self.rng.integers(0, 2))
+        else:
+            self.serve_far = force_class == "far"
+        self.far_router = FarPlusRouter(
+            network, horizon, self.params, phases=self.phases, rng=self.rng
+        )
+        self.near_router = NearRouter(
+            network, horizon, self.params, phases=self.phases
+        )
+
+    def plan_class(self) -> str:
+        """Which class this instance's coin selected ("far+" or "near")."""
+        return "far+" if self.serve_far else "near"
+
+    def route(self, requests) -> Plan:
+        requests = list(requests)
+        kept, dropped = proposition14_filter(
+            requests, self.params.B + self.params.c
+        )
+        active = self.far_router if self.serve_far else self.near_router
+        plan = active.route(kept)
+        for r in dropped:
+            plan.record(r.rid, RouteOutcome.REJECTED)
+        plan.meta["class"] = "far+" if self.serve_far else "near"
+        plan.meta["phases"] = self.phases
+        plan.meta["prop14_dropped"] = len(dropped)
+        return plan

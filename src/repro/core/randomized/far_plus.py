@@ -1,0 +1,335 @@
+"""The Far+ algorithm (Algorithm 2, Section 7.4).
+
+Per request in ``Far+`` (far requests with source in the SW quadrant):
+
+1. online integral path packing over the (plain) sketch graph with sketch
+   paths of length at most ``p_max = 4n``;
+2. biased coin ``X_i`` with ``Pr[X_i = 1] = lambda``: reject on 0 (random
+   sparsification);
+3. reject if adding the sketch path would make any sketch edge at least
+   1/4-loaded;
+4. detailed routing: I-routing out of the SW quadrant (over ``B + c``
+   planes, at most ``c_S/4`` exits per quadrant side), then alternating
+   T-routing (NW/SE quadrants) and X-routing (NE quadrant) along the sketch
+   path, and a straight climb in the last tile.  Failure rejects the
+   request *before* injection -- the algorithm is non-preemptive
+   (Section 7.4.1).
+
+Detailed routing maintains the invariants of Section 7.4.2: paths enter a
+tile only through the right half of its south side or the upper half of its
+west side, exit only through the right half of north / upper half of east,
+bend only where the sketch path bends (plus the initial bend), and respect
+every space-time capacity (checked cell-by-cell against a load ledger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.base import Plan, RouteOutcome, Router
+from repro.core.deterministic.geometry import plain_sketch_tiles, tile_moves
+from repro.core.randomized.params import RandomizedParams
+from repro.network.topology import Network
+from repro.packing.ipp import OnlinePathPacking
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.spacetime.sketch import PlainSketchGraph
+from repro.spacetime.tiling import Quadrant, Tiling
+from repro.util.errors import RoutingError
+from repro.util.rng import as_generator
+
+#: move indices on a line (untilted axes)
+NORTH, EAST = 0, 1
+
+
+@dataclass
+class _QuadrantState:
+    """Per-tile SW-quadrant bookkeeping for I-routing (Section 7.4.2)."""
+
+    arrivals: dict = field(default_factory=dict)  # vertex -> count
+    rows_used: dict = field(default_factory=dict)  # plane -> set of rows
+    cols_used: dict = field(default_factory=dict)  # plane -> set of cols
+    east_exits: int = 0
+    north_exits: int = 0
+
+
+class FarPlusRouter(Router):
+    """Algorithm 2 over a fixed tiling (phases supplied by the caller)."""
+
+    def __init__(self, network: Network, horizon: int, params: RandomizedParams,
+                 phases=(0, 0), rng=None):
+        self.network = network
+        self.params = params
+        self.graph = SpaceTimeGraph(network, horizon)
+        self.tiling = Tiling((params.Q, params.tau), tuple(phases))
+        self.sketch = PlainSketchGraph(self.graph, self.tiling)
+        self.ipp = OnlinePathPacking(self.sketch, pmax=params.pmax)
+        self.rng = as_generator(rng)
+        self.ledger = self.graph.ledger()
+        self.sparse_load: dict = {}  # sketch edge -> post-sparsification load
+        self.quadrants: dict = {}  # tile -> _QuadrantState
+        # "transit_rejected"/"lasttile_rejected" count T-/X-routing and
+        # last-tile failures.  Under the paper's dataflow conflict
+        # resolution these are provably zero; the sequential reservation
+        # implemented here (bend columns fixed at arrival) can lose a small
+        # fraction to later straight paths -- they become ordinary
+        # rejections, preserving soundness and non-preemption (measured in
+        # bench E13, documented in DESIGN.md).
+        self.counters = {
+            "ipp_rejected": 0,
+            "coin_rejected": 0,
+            "load_rejected": 0,
+            "iroute_rejected": 0,
+            "transit_rejected": 0,
+            "lasttile_rejected": 0,
+            "delivered": 0,
+            "no_sink": 0,
+        }
+
+    # -- classification helpers (shared with the combined router) -----------
+
+    def is_near(self, request) -> bool:
+        """Near = the source tile contains a copy of the destination, i.e.
+        source and destination share a space band (Section 7.2)."""
+        a, b = request.source[0], request.dest[0]
+        return self.tiling.tile_of_axis(0, a) == self.tiling.tile_of_axis(0, b)
+
+    def in_sw(self, request) -> bool:
+        v = self.graph.source_vertex(request)
+        return self.tiling.quadrant_of(v) == Quadrant.SW
+
+    def is_far_plus(self, request) -> bool:
+        return (not request.is_trivial()) and (not self.is_near(request)) and self.in_sw(request)
+
+    # -- the online pipeline --------------------------------------------------
+
+    def route(self, requests) -> Plan:
+        plan = Plan()
+        for r in self.arrival_order(requests):
+            if not self.is_far_plus(r):
+                plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            outcome, path = self.route_one(r)
+            plan.record(r.rid, outcome, path)
+        plan.meta["far_plus"] = dict(self.counters)
+        plan.meta["params"] = self.params
+        return plan
+
+    def route_one(self, request):
+        """Run steps 1-4 of Algorithm 2 for a single Far+ request."""
+        src = self.graph.source_vertex(request)
+        if not self.graph.valid_vertex(src):
+            return RouteOutcome.REJECTED, None
+        sink = self.sketch.register_sink(
+            ("dest", request.dest), request.dest, 0, self.graph.horizon
+        )
+        if sink is None:
+            self.counters["no_sink"] += 1
+            return RouteOutcome.REJECTED, None
+
+        # step 1: online integral path packing
+        sketch_path = self.ipp.route(self.sketch.source_node(request), sink)
+        if sketch_path is None:
+            self.counters["ipp_rejected"] += 1
+            return RouteOutcome.REJECTED, None
+        # plane index: i-th IPP-accepted request at this source event
+        qstate = self._qstate(self.tiling.tile_of(src))
+        qstate.arrivals[src] = qstate.arrivals.get(src, 0) + 1
+        plane = qstate.arrivals[src]
+
+        # step 2: biased coin (random sparsification)
+        if self.rng.random() >= self.params.lam:
+            self.counters["coin_rejected"] += 1
+            return RouteOutcome.REJECTED, None
+
+        # step 3: quarter-load cap on sketch edges
+        edges = [e for e in sketch_path.edges if e[0] == "e"]
+        for e in edges:
+            if (self.sparse_load.get(e, 0) + 1) >= self.sketch.capacity(e) / 4.0:
+                self.counters["load_rejected"] += 1
+                return RouteOutcome.REJECTED, None
+
+        # step 4: detailed routing (all-or-nothing; non-preemptive)
+        tiles = plain_sketch_tiles(sketch_path)
+        path = self._detailed_route(request, src, tiles, plane, qstate)
+        if path is None:
+            return RouteOutcome.REJECTED, None
+        for e in edges:
+            self.sparse_load[e] = self.sparse_load.get(e, 0) + 1
+        self.counters["delivered"] += 1
+        return RouteOutcome.DELIVERED, path
+
+    # -- detailed routing ---------------------------------------------------------
+
+    def _qstate(self, tile) -> _QuadrantState:
+        state = self.quadrants.get(tile)
+        if state is None:
+            state = self.quadrants[tile] = _QuadrantState()
+        return state
+
+    def _try_run(self, cells, pos, axis, length):
+        """Extend the tentative cell list by a straight run; None if any
+        cell is invalid or saturated."""
+        v = pos
+        for _ in range(length):
+            if not self.graph.valid_move(v, axis) or self.ledger.residual(axis, v) < 1:
+                return None
+            cells.append((axis, v))
+            v = (v[0] + 1, v[1]) if axis == NORTH else (v[0], v[1] + 1)
+        return v
+
+    def _detailed_route(self, request, src, tiles, plane, qstate):
+        params = self.params
+        B, c = params.B, params.c
+        moves = tile_moves(tiles)
+        if len(tiles) < 2:
+            raise RoutingError("a Far+ sketch path spans at least two tiles")
+        cells: list = []
+        pos = src
+        tile0 = tiles[0]
+        r0, c0 = self.tiling.origin(tile0)
+        mid_r, mid_c = r0 + params.Q // 2, c0 + params.tau // 2
+
+        # ---- I-routing (planes; Section 7.4.2)
+        quota = None
+        if plane <= B:
+            row = pos[0]
+            used = qstate.rows_used.setdefault(plane, set())
+            if row in used or qstate.east_exits >= params.side_cap:
+                self.counters["iroute_rejected"] += 1
+                return None
+            pos = self._try_run(cells, pos, EAST, mid_c - pos[1])
+            mode = "se_west"
+            quota = ("row", plane, row)
+        elif plane <= B + c:
+            col = pos[1]
+            used = qstate.cols_used.setdefault(plane, set())
+            if col in used or qstate.north_exits >= params.side_cap:
+                self.counters["iroute_rejected"] += 1
+                return None
+            pos = self._try_run(cells, pos, NORTH, mid_r - pos[0])
+            mode = "nw_south"
+            quota = ("col", plane, col)
+        else:
+            # Proposition 14: beyond the closest B + c requests per source
+            # event even the optimum cannot do better; reject.
+            self.counters["iroute_rejected"] += 1
+            return None
+        if pos is None:
+            self.counters["iroute_rejected"] += 1
+            return None
+
+        # ---- tile traversal: T-routing, X-routing, last tile
+        for idx, tile in enumerate(tiles):
+            if idx == 0:
+                entry = mode
+            if idx == len(tiles) - 1:
+                pos = self._last_tile(cells, pos, tile, entry, request)
+                if pos is None:
+                    self.counters["lasttile_rejected"] += 1
+                    return None
+                break
+            exit_axis = moves[idx]
+            pos = self._through_tile(cells, pos, tile, entry, exit_axis)
+            if pos is None:
+                self.counters["transit_rejected"] += 1
+                return None
+            entry = "south" if exit_axis == NORTH else "west"
+
+        # ---- commit
+        for axis, tail in cells:
+            self.ledger.add_edge(axis, tail)
+        if quota is not None:
+            kind, pl, coord = quota
+            if kind == "row":
+                qstate.rows_used[pl].add(coord)
+                qstate.east_exits += 1
+            else:
+                qstate.cols_used[pl].add(coord)
+                qstate.north_exits += 1
+        start = src
+        path_moves = tuple(axis for axis, _ in cells)
+        return STPath(start, path_moves, rid=request.rid)
+
+    def _through_tile(self, cells, pos, tile, entry, exit_axis):
+        """Route across one (non-final) tile; returns the position inside
+        the next tile, or None on failure."""
+        Q, tau = self.params.Q, self.params.tau
+        r0, c0 = self.tiling.origin(tile)
+        mid_r, mid_c = r0 + Q // 2, c0 + tau // 2
+        hi_r, hi_c = r0 + Q, c0 + tau
+
+        # -- reach the NE quadrant
+        if entry == "se_west":
+            # T-routing in SE: travel east, bend north at the first feasible
+            # column, exit into NE from the south
+            pos = self._bend_run(cells, pos, EAST, hi_c, NORTH, mid_r)
+            if pos is None:
+                return None
+            ne_entry = "south"
+        elif entry == "south":
+            if pos[1] < mid_c:
+                raise RoutingError("invariant: south entries use the right half")
+            pos = self._try_run(cells, pos, NORTH, mid_r - pos[0])
+            if pos is None:
+                return None
+            ne_entry = "south"
+        elif entry == "nw_south":
+            # T-routing in NW: climb, bend east at the first feasible row
+            pos = self._bend_run(cells, pos, NORTH, hi_r, EAST, mid_c)
+            if pos is None:
+                return None
+            ne_entry = "west"
+        elif entry == "west":
+            if pos[0] < mid_r:
+                raise RoutingError("invariant: west entries use the upper half")
+            pos = self._try_run(cells, pos, EAST, mid_c - pos[1])
+            if pos is None:
+                return None
+            ne_entry = "west"
+        else:
+            raise RoutingError(f"unknown entry mode {entry}")
+
+        # -- X-routing in NE (superposition of two T-routings, Fig. 10)
+        if ne_entry == "south" and exit_axis == NORTH:
+            return self._try_run(cells, pos, NORTH, hi_r - pos[0])
+        if ne_entry == "west" and exit_axis == EAST:
+            return self._try_run(cells, pos, EAST, hi_c - pos[1])
+        if ne_entry == "west" and exit_axis == NORTH:
+            return self._bend_run(cells, pos, EAST, hi_c, NORTH, hi_r)
+        if ne_entry == "south" and exit_axis == EAST:
+            return self._bend_run(cells, pos, NORTH, hi_r, EAST, hi_c)
+        raise RoutingError(f"unhandled X-routing case {ne_entry}/{exit_axis}")
+
+    def _bend_run(self, cells, pos, run_axis, run_hi, bend_axis, bend_hi):
+        """Advance along ``run_axis``; at each offset try to bend onto
+        ``bend_axis`` and go straight to coordinate ``bend_hi``.  This is
+        the "turn at the first free crossing" rule of T-/X-routing."""
+        for offset in range(run_hi - pos[run_axis]):
+            probe: list = []
+            p = self._try_run(probe, pos, run_axis, offset)
+            if p is None:
+                return None  # cannot even advance this far
+            p2 = self._try_run(probe, p, bend_axis, bend_hi - p[bend_axis])
+            if p2 is not None:
+                cells.extend(probe)
+                return p2
+        return None
+
+    def _last_tile(self, cells, pos, tile, entry, request):
+        """Straight climb to the destination copy (Section 7.4.2, Last Tile).
+
+        Only south entries occur: a sketch path entering the destination's
+        band from the west would have ended one tile earlier (that tile
+        already contains copies of the destination)."""
+        if entry != "south":
+            return None
+        b = request.dest[0]
+        if pos[0] > b:
+            return None
+        pos = self._try_run(cells, pos, NORTH, b - pos[0])
+        if pos is None:
+            return None
+        t = self.graph.vertex_time(pos)
+        if request.deadline is not None and t > request.deadline:
+            return None
+        return pos

@@ -1,0 +1,192 @@
+"""Section 7.7: large buffers (``log n <= B/c <= poly(n)``).
+
+Tiling degenerates to ``Q = 1`` (every tile is a single row of length
+``tau ~ B/c``), so there are no near requests.  ``R+`` is the set of
+requests whose source lies in the *left half* of its tile; the phase shift
+``phi_tau`` makes ``E[opt(R+)] >= opt/2``.  I-routing is horizontal only
+(buffering at the source node); vertical crossings happen in the right
+half of each tile; T-routing degenerates to "buffer east, climb at the
+first feasible column".
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.base import Plan, RouteOutcome, Router
+from repro.core.deterministic.geometry import plain_sketch_tiles, tile_moves
+from repro.core.randomized.combined import proposition14_filter
+from repro.network.topology import Network
+from repro.packing.ipp import OnlinePathPacking
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.spacetime.sketch import PlainSketchGraph
+from repro.spacetime.tiling import Tiling
+from repro.util.errors import ValidationError
+from repro.util.rng import as_generator
+
+NORTH, EAST = 0, 1
+
+
+class LargeBufferLineRouter(Router):
+    """Theorem 30: O(log n)-competitive routing when ``B/c >= log n``."""
+
+    def __init__(self, network: Network, horizon: int, rng=None,
+                 gamma: float = 200.0, lam: float | None = None,
+                 strict: bool = True):
+        if network.d != 1:
+            raise ValidationError("LargeBufferLineRouter targets lines")
+        n, B, c = network.n, network.buffer_size, network.capacity
+        logn = max(1.0, math.log2(n))
+        if strict and B < logn * c:
+            raise ValidationError(
+                f"Section 7.7 requires B/c >= log n; got B={B}, c={c}, n={n}"
+            )
+        self.network = network
+        self.graph = SpaceTimeGraph(network, horizon)
+        self.rng = as_generator(rng)
+        # tau ~ B/c, forced even so halves are well defined
+        self.tau = 2 * max(1, math.ceil(B / (2 * c)))
+        self.pmax = 4 * n
+        self.k = max(1, math.ceil(math.log2(1 + 3 * self.pmax)))
+        self.lam = lam if lam is not None else 1.0 / (gamma * self.k)
+        phase = int(self.rng.integers(0, self.tau))
+        self.tiling = Tiling((1, self.tau), (0, phase))
+        self.sketch = PlainSketchGraph(self.graph, self.tiling)
+        self.ipp = OnlinePathPacking(self.sketch, pmax=self.pmax)
+        self.ledger = self.graph.ledger()
+        self.sparse_load: dict = {}
+        self.east_exits: dict = {}  # tile -> count of I-routed exits
+        self.side_cap = max(1, min(B, self.tau * c) // 4)
+        self.counters = {
+            "not_rplus": 0, "ipp_rejected": 0, "coin_rejected": 0,
+            "load_rejected": 0, "detail_rejected": 0, "delivered": 0,
+        }
+
+    def in_r_plus(self, request) -> bool:
+        """Source in the left half of its tile (Section 7.7)."""
+        v = self.graph.source_vertex(request)
+        return self.tiling.local(v)[1] < self.tau // 2
+
+    def route(self, requests) -> Plan:
+        plan = Plan()
+        kept, dropped = proposition14_filter(
+            list(requests), self.network.buffer_size + self.network.capacity
+        )
+        for r in self.arrival_order(kept):
+            if r.is_trivial():
+                src = self.graph.source_vertex(r)
+                if self.graph.valid_vertex(src):
+                    plan.record(r.rid, RouteOutcome.DELIVERED, STPath(src, (), rid=r.rid))
+                else:
+                    plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            if not self.in_r_plus(r):
+                self.counters["not_rplus"] += 1
+                plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            outcome, path = self._route_one(r)
+            plan.record(r.rid, outcome, path)
+        for r in dropped:
+            plan.record(r.rid, RouteOutcome.REJECTED)
+        plan.meta["large_buffers"] = dict(self.counters)
+        return plan
+
+    def _route_one(self, request):
+        src = self.graph.source_vertex(request)
+        if not self.graph.valid_vertex(src):
+            return RouteOutcome.REJECTED, None
+        sink = self.sketch.register_sink(
+            ("dest", request.dest), request.dest, 0, self.graph.horizon
+        )
+        if sink is None:
+            return RouteOutcome.REJECTED, None
+        sketch_path = self.ipp.route(self.sketch.source_node(request), sink)
+        if sketch_path is None:
+            self.counters["ipp_rejected"] += 1
+            return RouteOutcome.REJECTED, None
+        if self.rng.random() >= self.lam:
+            self.counters["coin_rejected"] += 1
+            return RouteOutcome.REJECTED, None
+        edges = [e for e in sketch_path.edges if e[0] == "e"]
+        for e in edges:
+            if (self.sparse_load.get(e, 0) + 1) >= self.sketch.capacity(e) / 4.0:
+                self.counters["load_rejected"] += 1
+                return RouteOutcome.REJECTED, None
+        tiles = plain_sketch_tiles(sketch_path)
+        path = self._detailed(request, src, tiles)
+        if path is None:
+            self.counters["detail_rejected"] += 1
+            return RouteOutcome.REJECTED, None
+        for e in edges:
+            self.sparse_load[e] = self.sparse_load.get(e, 0) + 1
+        self.counters["delivered"] += 1
+        return RouteOutcome.DELIVERED, path
+
+    # -- detailed routing over 1-row tiles ---------------------------------
+
+    def _try_run(self, cells, pos, axis, length):
+        v = pos
+        for _ in range(length):
+            if not self.graph.valid_move(v, axis) or self.ledger.residual(axis, v) < 1:
+                return None
+            cells.append((axis, v))
+            v = (v[0] + 1, v[1]) if axis == NORTH else (v[0], v[1] + 1)
+        return v
+
+    def _detailed(self, request, src, tiles):
+        if len(tiles) < 2:
+            return None  # Q = 1: a non-trivial request always crosses tiles
+        moves = tile_moves(tiles)
+        cells: list = []
+        tile0 = tiles[0]
+        _, c0 = self.tiling.origin(tile0)
+        mid_c = c0 + self.tau // 2
+        if self.east_exits.get(tile0, 0) >= self.side_cap:
+            return None
+        # I-routing: buffer east out of the left half
+        pos = self._try_run(cells, src, EAST, mid_c - src[1])
+        if pos is None:
+            return None
+        entry = "lhalf"
+        b = request.dest[0]
+        for idx, tile in enumerate(tiles):
+            if idx == len(tiles) - 1:
+                if pos[0] != b:
+                    return None  # Q = 1: the last tile *is* the dest row
+                break
+            exit_axis = moves[idx]
+            pos = self._through_tile(cells, pos, tile, entry, exit_axis)
+            if pos is None:
+                return None
+            entry = "south" if exit_axis == NORTH else "west"
+        t = self.graph.vertex_time(pos)
+        if request.deadline is not None and t > request.deadline:
+            return None
+        for axis, tail in cells:
+            self.ledger.add_edge(axis, tail)
+        self.east_exits[tile0] = self.east_exits.get(tile0, 0) + 1
+        return STPath(src, tuple(a for a, _ in cells), rid=request.rid)
+
+    def _through_tile(self, cells, pos, tile, entry, exit_axis):
+        _, c0 = self.tiling.origin(tile)
+        mid_c, hi_c = c0 + self.tau // 2, c0 + self.tau
+        if entry == "south" and pos[1] < mid_c:
+            return None  # invariant: vertical crossings in the right half
+        if exit_axis == EAST:
+            return self._try_run(cells, pos, EAST, hi_c - pos[1])
+        # exit north: buffer east to the first column (right half) with a
+        # feasible vertical edge, then climb one row
+        start = max(pos[1], mid_c)
+        lead = self._try_run(cells, pos, EAST, start - pos[1])
+        if lead is None:
+            return None
+        for x in range(start, hi_c):
+            probe: list = []
+            p = self._try_run(probe, lead, EAST, x - lead[1])
+            if p is None:
+                return None
+            p2 = self._try_run(probe, p, NORTH, 1)
+            if p2 is not None:
+                cells.extend(probe)
+                return p2
+        return None

@@ -1,0 +1,70 @@
+"""The Near algorithm (Section 7.5): greedy vertical routing.
+
+A near request can reach a copy of its destination inside its own tile; the
+algorithm simply attempts the straight vertical path -- transmit on every
+step, no buffering -- from ``(a_i, t_i)`` to ``(b_i, t_i + b_i - a_i)``,
+rejecting when any edge on it is saturated.  Theorem 27: per tile this is
+within ``O(Q c / c) = O(log n)`` of the optimum restricted to near
+requests.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import Plan, RouteOutcome, Router
+from repro.core.randomized.params import RandomizedParams
+from repro.network.topology import Network
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.spacetime.tiling import Tiling
+
+NORTH = 0
+
+
+class NearRouter(Router):
+    """Greedy vertical routing for the Near class."""
+
+    def __init__(self, network: Network, horizon: int, params: RandomizedParams,
+                 phases=(0, 0)):
+        self.network = network
+        self.params = params
+        self.graph = SpaceTimeGraph(network, horizon)
+        self.tiling = Tiling((params.Q, params.tau), tuple(phases))
+        self.ledger = self.graph.ledger()
+        self.counters = {"delivered": 0, "saturated": 0, "invalid": 0}
+
+    def is_near(self, request) -> bool:
+        a, b = request.source[0], request.dest[0]
+        return self.tiling.tile_of_axis(0, a) == self.tiling.tile_of_axis(0, b)
+
+    def route(self, requests) -> Plan:
+        plan = Plan()
+        for r in self.arrival_order(requests):
+            if not self.is_near(r) and not r.is_trivial():
+                plan.record(r.rid, RouteOutcome.REJECTED)
+                continue
+            outcome, path = self.route_one(r)
+            plan.record(r.rid, outcome, path)
+        plan.meta["near"] = dict(self.counters)
+        return plan
+
+    def route_one(self, request):
+        src = self.graph.source_vertex(request)
+        if not self.graph.valid_vertex(src):
+            self.counters["invalid"] += 1
+            return RouteOutcome.REJECTED, None
+        b = request.dest[0]
+        length = b - src[0]
+        arrive = request.arrival + length
+        if request.deadline is not None and arrive > request.deadline:
+            return RouteOutcome.REJECTED, None
+        v = src
+        cells = []
+        for _ in range(length):
+            if not self.graph.valid_move(v, NORTH) or self.ledger.residual(NORTH, v) < 1:
+                self.counters["saturated" if self.graph.valid_move(v, NORTH) else "invalid"] += 1
+                return RouteOutcome.REJECTED, None
+            cells.append(v)
+            v = (v[0] + 1, v[1])
+        for tail in cells:
+            self.ledger.add_edge(NORTH, tail)
+        self.counters["delivered"] += 1
+        return RouteOutcome.DELIVERED, STPath(src, (NORTH,) * length, rid=request.rid)

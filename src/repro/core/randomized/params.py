@@ -1,0 +1,95 @@
+"""Tiling and sparsification parameters of the randomized algorithm.
+
+Definition 15 (for ``B, c in [1, log n]``):
+
+* if ``B * c < log n``: ``tau = 2 ceil(log n / c)``, ``Q = 2 ceil(log n / B)``;
+* else ``tau = 2B``, ``Q = 2c``.
+
+Proposition 16 consequences: ``tau + Q = O(log n)``, every sketch edge has
+capacity at least ``log n`` and the max/min capacity ratio is at most 2.
+The sketch path length bound is ``p_max = 4n`` (Section 7.4.1), giving
+``k = ceil(log2(1 + 3 p_max))`` and the sparsification probability
+``lambda = 1 / (gamma k)`` with ``gamma = 200`` in the paper's analysis.
+``gamma`` is exposed because the Chernoff-driven constant is far larger
+than needed in practice (ablation bench E16 sweeps it).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.network.topology import Network
+from repro.util.errors import ValidationError
+
+#: the paper's sparsification constant (proof of Lemma 21)
+PAPER_GAMMA = 200.0
+
+
+@dataclass(frozen=True)
+class RandomizedParams:
+    """Resolved parameters for one run of the randomized algorithm."""
+
+    n: int
+    B: int
+    c: int
+    tau: int  # tile length (column axis)
+    Q: int  # tile height (space axis)
+    pmax: int  # sketch path length bound (4n)
+    k: int  # ceil(log2(1 + 3 pmax))
+    lam: float  # sparsification probability
+    gamma: float
+
+    @classmethod
+    def for_network(cls, network: Network, gamma: float = PAPER_GAMMA,
+                    lam: float | None = None) -> "RandomizedParams":
+        """Definition 15 parameters for ``network`` (a line)."""
+        if network.d != 1:
+            raise ValidationError("the randomized algorithm targets lines (d = 1)")
+        n = network.n
+        B, c = network.buffer_size, network.capacity
+        if B < 1:
+            raise ValidationError("randomized algorithm requires B >= 1")
+        logn = max(1.0, math.log2(n))
+        if B > logn or c > logn:
+            raise ValidationError(
+                f"Definition 15 covers B, c in [1, log n] = [1, {logn:.1f}]; "
+                f"got B={B}, c={c}.  Use the large/small-buffer variants."
+            )
+        if B * c < logn:
+            tau = 2 * math.ceil(logn / c)
+            Q = 2 * math.ceil(logn / B)
+        else:
+            tau = 2 * B
+            Q = 2 * c
+        pmax = 4 * n
+        k = max(1, math.ceil(math.log2(1 + 3 * pmax)))
+        lam_val = lam if lam is not None else 1.0 / (gamma * k)
+        return cls(n=n, B=B, c=c, tau=tau, Q=Q, pmax=pmax, k=k,
+                   lam=lam_val, gamma=gamma)
+
+    @property
+    def sketch_capacity(self) -> int:
+        """``c_S``: capacity of sketch edges (the smaller of the two kinds;
+        Prop. 16 bounds their ratio by 2 and the text equalises them)."""
+        return min(self.Q * self.B, self.tau * self.c)
+
+    @property
+    def side_cap(self) -> int:
+        """Per-side SW-quadrant exit cap ``c_S / 4`` (invariant 6)."""
+        return max(1, self.sketch_capacity // 4)
+
+    def check_proposition16(self) -> None:
+        """Raise unless the Prop. 16 guarantees hold (used in tests)."""
+        logn = max(1.0, math.log2(self.n))
+        if self.tau + self.Q > 16 * logn + 8:
+            raise AssertionError(f"tau + Q = {self.tau + self.Q} not O(log n)")
+        if self.n >= 4:
+            if min(self.Q * self.B, self.tau * self.c) < logn:
+                raise AssertionError("sketch capacity below log n")
+        hi = max(self.Q * self.B, self.tau * self.c)
+        lo = min(self.Q * self.B, self.tau * self.c)
+        if hi > 2 * lo:
+            raise AssertionError(
+                f"capacity ratio {hi}/{lo} exceeds 2 (Prop. 16(3))"
+            )

@@ -1,0 +1,156 @@
+"""The two node-functionality models of Appendix F.
+
+**Model 1** ([ARSU02, RR09]) -- adopted by the paper and by
+:class:`~repro.network.simulator.Simulator`: in one step a node receives
+``c`` packets per incoming link plus its ``B`` buffered packets plus local
+inputs, and emits ``c`` per outgoing link plus ``B`` back to the buffer.
+A packet can therefore *cut through*: arrive and be forwarded in the same
+step without touching the buffer.
+
+**Model 2** ([AKK09, AZ05]) -- two-phase nodes: phase 0 merges the (single,
+``c = 1``) link arrival, the buffer contents and local inputs and keeps at
+most ``B`` of them *in the buffer*; phase 1 transmits at most one buffered
+packet.  Everything passing through a node must occupy a buffer slot, so a
+node moves at most ``B`` packets per step (vs ``B + c`` in Model 1).
+
+Appendix F remark 1: with ``B = c = 1``, Model 1 is strictly stronger -- a
+node receiving one packet from its neighbour and one local injection keeps
+both (store one, forward the other), while Model 2 must drop one.  The
+:class:`Model2LineSimulator` here exists to reproduce that separation
+(experiment E14); everything else in the package uses Model 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.network.packet import DeliveryStatus, Packet
+from repro.network.stats import NetworkStats
+from repro.network.topology import LineNetwork
+from repro.util.errors import ValidationError
+
+
+def ntg_priority(pkt: Packet):
+    """Nearest-to-go ordering key: fewest remaining hops first."""
+    return (pkt.remaining_distance(), pkt.request.arrival, pkt.rid)
+
+
+@dataclass
+class Model2Result:
+    stats: NetworkStats
+    status: dict
+
+
+class Model2LineSimulator:
+    """Model 2 dynamics on a uni-directional line with ``c = 1``.
+
+    ``priority`` orders packets when the node must choose which ``B`` to
+    keep (phase 0) and which single packet to transmit (phase 1); the
+    default is nearest-to-go.
+    """
+
+    def __init__(self, network: LineNetwork, priority=ntg_priority):
+        if network.capacity != 1:
+            raise ValidationError("Model 2 is defined for unit link capacity")
+        self.network = network
+        self.priority = priority
+
+    def run(self, requests, horizon: int) -> Model2Result:
+        network = self.network
+        B = network.buffer_size
+        n = network.length
+        stats = NetworkStats()
+        status = {r.rid: DeliveryStatus.PENDING for r in requests}
+        arrivals: dict = {}
+        for r in requests:
+            network.check_request(r)
+            arrivals.setdefault(r.arrival, []).append(r)
+
+        buffers: list = [[] for _ in range(n)]
+        link_in: list = [None] * n  # packet arriving at node i this step
+        last_arrival = max(arrivals, default=-1)
+
+        for t in range(horizon + 1):
+            if (
+                t > last_arrival
+                and all(not b for b in buffers)
+                and all(p is None for p in link_in)
+            ):
+                break
+            stats.steps += 1
+            new_link_in: list = [None] * n
+            for x in range(n):
+                node = (x,)
+                candidates = list(buffers[x])
+                if link_in[x] is not None:
+                    pkt = link_in[x]
+                    pkt.location = node
+                    pkt.hops += 1
+                    candidates.append(pkt)
+                injected_now = set()
+                for r in arrivals.get(t, ()):  # local inputs at this node
+                    if r.source == node:
+                        candidates.append(Packet(request=r, location=node, injected_at=t))
+                        injected_now.add(r.rid)
+
+                # deliveries are free in both models
+                remaining = []
+                for pkt in candidates:
+                    if pkt.dest == node:
+                        on_time = pkt.request.deadline is None or t <= pkt.request.deadline
+                        status[pkt.rid] = (
+                            DeliveryStatus.DELIVERED if on_time else DeliveryStatus.LATE
+                        )
+                        stats.delivered += on_time
+                        stats.late += not on_time
+                    else:
+                        remaining.append(pkt)
+
+                # phase 0: keep at most B packets in the buffer
+                remaining.sort(key=self.priority)
+                kept, dropped = remaining[:B], remaining[B:]
+                for pkt in dropped:
+                    if pkt.rid in injected_now:
+                        status[pkt.rid] = DeliveryStatus.REJECTED
+                        stats.rejected += 1
+                    else:
+                        status[pkt.rid] = DeliveryStatus.PREEMPTED
+                        stats.preempted += 1
+                for pkt in kept:
+                    if status[pkt.rid] == DeliveryStatus.PENDING:
+                        status[pkt.rid] = DeliveryStatus.INJECTED
+
+                # phase 1: transmit at most one buffered packet
+                if kept and x + 1 < n:
+                    out = min(kept, key=self.priority)
+                    kept.remove(out)
+                    new_link_in[x + 1] = out
+                    stats.forwards += 1
+                buffers[x] = kept
+                stats.max_buffer_load = max(stats.max_buffer_load, len(kept))
+            link_in = new_link_in
+
+        for rid, st in status.items():
+            if st == DeliveryStatus.PENDING:
+                status[rid] = DeliveryStatus.REJECTED
+                stats.rejected += 1
+            elif st == DeliveryStatus.INJECTED:
+                status[rid] = DeliveryStatus.PREEMPTED
+                stats.preempted += 1
+        return Model2Result(stats=stats, status=status)
+
+
+def separation_instance():
+    """The Appendix F remark-1 instance separating the two models.
+
+    Two requests on a 3-node line with ``B = c = 1``: one packet travelling
+    ``0 -> 2`` injected at time 0, and one injected at node 1 at time 1 --
+    exactly when the first packet arrives at node 1.  Model 1 keeps both
+    (forward one, store the other); Model 2 must drop one.
+    """
+    from repro.network.packet import Request
+
+    return LineNetwork(3, buffer_size=1, capacity=1), [
+        Request.line(0, 2, 0, rid=0),
+        Request.line(1, 2, 1, rid=1),
+    ]

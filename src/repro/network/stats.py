@@ -1,0 +1,43 @@
+"""Aggregate statistics of a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by the simulator.
+
+    ``max_link_load``/``max_buffer_load`` record the worst observed
+    utilisation (the simulator *enforces* the B and c bounds; these record
+    how close the run came).
+    """
+
+    delivered: int = 0
+    late: int = 0
+    rejected: int = 0
+    preempted: int = 0
+    forwards: int = 0
+    stores: int = 0
+    max_link_load: int = 0
+    max_buffer_load: int = 0
+    steps: int = 0
+    delivery_times: dict = field(default_factory=dict)  # rid -> time
+
+    @property
+    def throughput(self) -> int:
+        """Packets delivered before their deadline (the objective)."""
+        return self.delivered
+
+    @property
+    def injected(self) -> int:
+        return self.delivered + self.late + self.preempted
+
+    def summary(self) -> str:
+        return (
+            f"throughput={self.delivered} late={self.late} "
+            f"rejected={self.rejected} preempted={self.preempted} "
+            f"steps={self.steps} max_link={self.max_link_load} "
+            f"max_buf={self.max_buffer_load}"
+        )

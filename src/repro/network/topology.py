@@ -1,0 +1,187 @@
+"""Uni-directional line and grid topologies (Section 2.2 of the paper).
+
+A d-dimensional uni-directional grid over ``dims = (l_1, ..., l_d)`` has
+vertex set ``[0, l_1) x ... x [0, l_d)`` and, for each axis ``i``, edges
+``x -> x + e_i`` whenever that stays inside the grid.  Every edge has
+capacity ``c`` and every node a buffer of size ``B`` (uniform, Section 2.2).
+
+Coordinates are 0-based (the paper uses 1-based; the shift is immaterial).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from repro.network.packet import Node
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed grid edge ``tail -> tail + e_axis``."""
+
+    tail: Node
+    axis: int
+
+    @property
+    def head(self) -> Node:
+        head = list(self.tail)
+        head[self.axis] += 1
+        return tuple(head)
+
+
+class Network:
+    """A uni-directional grid network with uniform capacities.
+
+    Parameters
+    ----------
+    dims:
+        Side lengths ``(l_1, ..., l_d)``; the number of nodes is
+        ``n = l_1 * ... * l_d``.
+    buffer_size:
+        Buffer size ``B >= 0`` of every node.
+    capacity:
+        Link capacity ``c >= 1`` of every edge.
+    """
+
+    def __init__(self, dims, buffer_size: int, capacity: int):
+        dims = tuple(int(l) for l in dims)
+        if not dims or any(l < 1 for l in dims):
+            raise ValidationError(f"dims must be positive, got {dims}")
+        if buffer_size < 0:
+            raise ValidationError(f"buffer size B must be >= 0, got {buffer_size}")
+        if capacity < 1:
+            raise ValidationError(f"link capacity c must be >= 1, got {capacity}")
+        self.dims = dims
+        self.buffer_size = int(buffer_size)
+        self.capacity = int(capacity)
+
+    # -- basic shape ----------------------------------------------------
+
+    @property
+    def d(self) -> int:
+        """Grid dimension."""
+        return len(self.dims)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return math.prod(self.dims)
+
+    @property
+    def diameter(self) -> int:
+        """Length of the longest shortest path, ``sum(l_i - 1)``."""
+        return sum(l - 1 for l in self.dims)
+
+    def nodes(self):
+        """Iterate over all nodes in lexicographic order."""
+        return itertools.product(*(range(l) for l in self.dims))
+
+    def edges(self):
+        """Iterate over all directed edges."""
+        for node in self.nodes():
+            for axis in range(self.d):
+                if node[axis] + 1 < self.dims[axis]:
+                    yield Edge(node, axis)
+
+    def num_edges(self) -> int:
+        return sum(
+            (self.dims[axis] - 1) * (self.n // self.dims[axis]) for axis in range(self.d)
+        )
+
+    # -- membership / geometry ------------------------------------------
+
+    def contains(self, node: Node) -> bool:
+        return len(node) == self.d and all(0 <= x < l for x, l in zip(node, self.dims))
+
+    def check_node(self, node: Node) -> None:
+        if not self.contains(node):
+            raise ValidationError(f"node {node} outside grid {self.dims}")
+
+    def dist(self, a: Node, b: Node) -> int:
+        """Directed hop distance ``a -> b``; requires ``a <= b`` componentwise."""
+        if any(x > y for x, y in zip(a, b)):
+            raise ValidationError(f"no directed path {a} -> {b} in a uni-directional grid")
+        return sum(y - x for x, y in zip(a, b))
+
+    def out_neighbors(self, node: Node):
+        """Successors of ``node`` (at most ``d`` of them)."""
+        for axis in range(self.d):
+            if node[axis] + 1 < self.dims[axis]:
+                head = list(node)
+                head[axis] += 1
+                yield axis, tuple(head)
+
+    # -- node indexing (flat ids for array-backed ledgers) ---------------
+
+    def node_index(self, node: Node) -> int:
+        """Flat row-major index of ``node``."""
+        idx = 0
+        for x, l in zip(node, self.dims):
+            idx = idx * l + x
+        return idx
+
+    def node_from_index(self, idx: int) -> Node:
+        coords = []
+        for l in reversed(self.dims):
+            coords.append(idx % l)
+            idx //= l
+        return tuple(reversed(coords))
+
+    # -- request validation ----------------------------------------------
+
+    def check_request(self, request) -> None:
+        """Validate that ``request`` fits this network."""
+        if request.dim != self.d:
+            raise ValidationError(
+                f"request dimension {request.dim} does not match grid dimension {self.d}"
+            )
+        self.check_node(request.source)
+        self.check_node(request.dest)
+
+    # -- paper parameters -------------------------------------------------
+
+    def pmax(self) -> int:
+        """The paper's maximum useful path length in the space-time graph.
+
+        Section 3.6.1: for a line ``p_max = 2n(1 + n(B/c + 1))``; for a
+        d-dimensional grid ``p_max = 2 diam(G) (1 + n(B/c + d))``.  Both are
+        instances of ``(nu + 2) diam(G)`` from Lemma 2 (up to rounding).
+        """
+        n, B, c, d = self.n, self.buffer_size, self.capacity, self.d
+        if d == 1:
+            return math.ceil(2 * n * (1 + n * (B / c + 1)))
+        return math.ceil(2 * self.diameter * (1 + n * (B / c + d)))
+
+    def tile_side_k(self, pmax: int | None = None) -> int:
+        """Tile side ``k = ceil(log2(1 + 3 p_max))`` (Section 5, Parameters)."""
+        p = self.pmax() if pmax is None else pmax
+        return max(1, math.ceil(math.log2(1 + 3 * p)))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(dims={self.dims}, B={self.buffer_size}, "
+            f"c={self.capacity})"
+        )
+
+
+class LineNetwork(Network):
+    """Uni-directional line with ``n`` nodes ``0 -> 1 -> ... -> n-1``."""
+
+    def __init__(self, n: int, buffer_size: int = 1, capacity: int = 1):
+        super().__init__((n,), buffer_size, capacity)
+
+    @property
+    def length(self) -> int:
+        return self.dims[0]
+
+
+class GridNetwork(Network):
+    """Uni-directional d-dimensional grid (``d >= 2`` typical)."""
+
+    def __init__(self, dims, buffer_size: int = 1, capacity: int = 1):
+        super().__init__(dims, buffer_size, capacity)
+        if self.d < 1:
+            raise ValidationError("grid needs at least one dimension")

@@ -1,0 +1,41 @@
+"""Event tracing for simulations (opt-in, off by default for speed)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Event:
+    """One simulator event.
+
+    ``kind`` is one of ``inject``, ``reject``, ``forward``, ``store``,
+    ``drop``, ``deliver``, ``late``.
+    """
+
+    t: int
+    kind: str
+    rid: int
+    node: tuple
+    detail: str = ""
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`Event` records when ``enabled``."""
+
+    enabled: bool = False
+    events: list = field(default_factory=list)
+
+    def record(self, t: int, kind: str, rid: int, node: tuple, detail: str = "") -> None:
+        if self.enabled:
+            self.events.append(Event(t, kind, rid, node, detail))
+
+    def of_kind(self, kind: str) -> list:
+        return [e for e in self.events if e.kind == kind]
+
+    def for_request(self, rid: int) -> list:
+        return [e for e in self.events if e.rid == rid]
+
+    def __len__(self) -> int:
+        return len(self.events)

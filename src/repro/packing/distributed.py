@@ -1,0 +1,88 @@
+"""Distributed simulation of the online interval packing (Section 5.2.1).
+
+The paper notes that the GLL82-based online rule "can be executed in a
+distributed fashion in a line": processor ``a_i`` holds its local interval
+``(a_i, b_i)`` (or nothing), receives the running accepted set ``I'`` from
+its left neighbour, applies the accept/preempt rule locally, and forwards
+``I'`` to the right.  This module simulates that protocol message by
+message and is tested to produce exactly the accepted set of the
+centralized :class:`~repro.packing.interval.OnlineIntervalPacker` -- the
+equivalence the paper's detailed routing of special segments relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.packing.interval import Interval, OnlineIntervalPacker
+
+
+@dataclass
+class ProtocolTrace:
+    """What happened at each processor (for tests and teaching)."""
+
+    messages: int = 0  # I' forwardings
+    decisions: list = field(default_factory=list)  # (pos, action, owner)
+
+
+class DistributedLinePacker:
+    """One left-to-right pass of the distributed interval-packing protocol.
+
+    ``inputs[p]`` is the list of intervals whose left endpoint is processor
+    ``p`` (the packets injected there, in arrival order).  The returned
+    accepted set is the protocol's final ``I'``.
+    """
+
+    def __init__(self, n: int):
+        self.n = int(n)
+        self.trace = ProtocolTrace()
+
+    def run(self, inputs: dict) -> list:
+        accepted: list = []  # the travelling I', kept sorted by lo
+
+        def conflicting(iv):
+            return [x for x in accepted if x.overlaps(iv)]
+
+        for p in range(self.n):
+            # the message from the left neighbour is `accepted` itself
+            if p > 0:
+                self.trace.messages += 1
+            for iv in inputs.get(p, ()):  # local decision at processor p
+                if iv.lo != p:
+                    raise ValueError(
+                        f"interval {iv} offered at the wrong processor {p}"
+                    )
+                conf = conflicting(iv)
+                if not conf:
+                    accepted.append(iv)
+                    accepted.sort(key=lambda x: x.lo)
+                    self.trace.decisions.append((p, "accept", iv.owner))
+                    continue
+                victim = min(conf, key=lambda x: (x.hi, x.lo))
+                if iv.hi > victim.hi:
+                    self.trace.decisions.append((p, "reject", iv.owner))
+                else:
+                    accepted.remove(victim)
+                    accepted.append(iv)
+                    accepted.sort(key=lambda x: x.lo)
+                    self.trace.decisions.append((p, "preempt", victim.owner))
+        return accepted
+
+
+def centralized_reference(intervals) -> list:
+    """The centralized packer run over the same left-endpoint order."""
+    packer = OnlineIntervalPacker()
+    for iv in sorted(intervals, key=lambda iv: (iv.lo, iv.owner)):
+        packer.offer(iv)
+    return sorted(packer.accepted, key=lambda iv: iv.lo)
+
+
+def distribute(intervals, n: int) -> dict:
+    """Group ``intervals`` by their left endpoint (the processors' local
+    inputs), preserving the given order within a processor."""
+    inputs: dict = {}
+    for iv in intervals:
+        if not (0 <= iv.lo < n and iv.hi <= n):
+            raise ValueError(f"interval {iv} outside the line [0, {n}]")
+        inputs.setdefault(iv.lo, []).append(iv)
+    return inputs

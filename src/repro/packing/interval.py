@@ -1,0 +1,168 @@
+"""Interval packing on a line (Section 5.2.1).
+
+Detailed routing of special segments reduces to packing open intervals on a
+line: keep a maximum pairwise-disjoint subset of intervals arriving in order
+of left endpoints.  The paper simulates the optimal interval-scheduling rule
+of Gupta-Lee-Leung [GLL82] online with preemption:
+
+* if the new interval is disjoint from the accepted set, accept it;
+* otherwise let ``p_j`` be the accepted interval overlapping it with the
+  smallest right endpoint: if ``b_i > b_j`` reject the new interval, else
+  accept it and *preempt* ``p_j``.
+
+This keeps the accepted set optimal for the prefix seen so far (tested
+against :func:`max_disjoint_intervals`).  Intervals are open, so sharing an
+endpoint is not a conflict.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Interval:
+    """An open interval ``(lo, hi)`` tagged with an owner id."""
+
+    lo: int
+    hi: int
+    owner: int = field(default=-1, compare=False)
+
+    def __post_init__(self):
+        if self.hi <= self.lo:
+            raise ValueError(f"empty interval ({self.lo}, {self.hi})")
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Open-interval overlap: touching endpoints do not conflict."""
+        return self.lo < other.hi and other.lo < self.hi
+
+
+def max_disjoint_intervals(intervals) -> list:
+    """Optimal offline packing: greedy by earliest right endpoint [GLL82]."""
+    chosen: list = []
+    last_hi = None
+    for iv in sorted(intervals, key=lambda i: (i.hi, i.lo)):
+        if last_hi is None or iv.lo >= last_hi:
+            chosen.append(iv)
+            last_hi = iv.hi
+    return chosen
+
+
+class OnlineIntervalPacker:
+    """Online preemptive interval packing for one line (row or column).
+
+    ``offer`` processes intervals in nondecreasing left-endpoint order (the
+    order in which detailed-routing requests reach the line, Section 5.2.1)
+    and returns the preempted interval, ``None`` on plain acceptance, or the
+    rejected interval itself.
+
+    The accepted set is kept sorted by left endpoint in parallel arrays for
+    O(log m) conflict lookup.
+    """
+
+    def __init__(self, name=None):
+        self.name = name
+        self._los: list = []  # sorted left endpoints of accepted intervals
+        self._accepted: list = []  # Interval objects, parallel to _los
+        self.preempted: list = []  # history of preempted intervals
+        self.rejected: list = []  # history of rejected intervals
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def accepted(self) -> list:
+        return list(self._accepted)
+
+    def conflicting(self, iv: Interval) -> list:
+        """Accepted intervals overlapping ``iv`` (in left-endpoint order)."""
+        # candidates: accepted intervals with lo < iv.hi whose hi > iv.lo
+        idx = bisect.bisect_left(self._los, iv.hi)
+        out = []
+        for j in range(idx - 1, -1, -1):
+            cand = self._accepted[j]
+            if cand.hi <= iv.lo:
+                # accepted intervals are pairwise disjoint and sorted, but an
+                # earlier one may still overlap if this one ends early; since
+                # disjoint+sorted implies his are increasing, we can stop.
+                break
+            out.append(cand)
+        out.reverse()
+        return out
+
+    # -- the online rule ----------------------------------------------------------
+
+    def would_accept(self, iv: Interval) -> bool:
+        """Dry-run of :meth:`offer` (used to pick bend positions without
+        mutating state)."""
+        conflicts = self.conflicting(iv)
+        if not conflicts:
+            return True
+        return iv.hi <= min(c.hi for c in conflicts)
+
+    def offer(self, iv: Interval):
+        """Process one interval with the GLL82 preemptive rule.
+
+        Returns ``(accepted, victims)``: ``victims`` lists the preempted
+        intervals (empty on plain acceptance; on rejection ``accepted`` is
+        False).  With left-endpoint-sorted input at most one victim exists
+        (the paper's setting); out-of-order offers may preempt several --
+        acceptance then requires dominating them all.
+        """
+        conflicts = self.conflicting(iv)
+        if not conflicts:
+            self._insert(iv)
+            return True, []
+        if iv.hi > min(c.hi for c in conflicts):
+            self.rejected.append(iv)
+            return False, []
+        for victim in conflicts:
+            self._remove(victim)
+            self.preempted.append(victim)
+        self._insert(iv)
+        return True, list(conflicts)
+
+    def replace(self, old: Interval, new: Interval | None) -> None:
+        """Shrink ``old`` to ``new`` (or drop it when ``new`` is None).
+
+        Used when a bend position is fixed and the conservatively reserved
+        tail of a special segment is released (Section 5.2.2)."""
+        self._remove(old)
+        if new is not None:
+            self._insert(new)
+
+    def insert_raw(self, iv: Interval) -> None:
+        """Insert without the online rule (prefixes of preempted paths keep
+        occupying the line up to the preemption point)."""
+        self._insert(iv)
+
+    def holds(self, iv: Interval) -> bool:
+        idx = bisect.bisect_left(self._los, iv.lo)
+        while idx < len(self._accepted) and self._accepted[idx].lo == iv.lo:
+            if self._accepted[idx] == iv:
+                return True
+            idx += 1
+        return False
+
+    def _insert(self, iv: Interval) -> None:
+        idx = bisect.bisect_left(self._los, iv.lo)
+        self._los.insert(idx, iv.lo)
+        self._accepted.insert(idx, iv)
+
+    def _remove(self, iv: Interval) -> None:
+        idx = bisect.bisect_left(self._los, iv.lo)
+        while idx < len(self._accepted) and self._accepted[idx] != iv:
+            idx += 1
+        if idx == len(self._accepted):
+            raise ValueError(f"interval {iv} not in accepted set")
+        del self._los[idx]
+        del self._accepted[idx]
+
+    def release(self, owner: int) -> bool:
+        """Drop the accepted interval owned by ``owner`` (the request was
+        preempted elsewhere); returns True when one was removed."""
+        for iv in self._accepted:
+            if iv.owner == owner:
+                self._remove(iv)
+                return True
+        return False

@@ -1,0 +1,168 @@
+"""Max-flow machinery and the single-commodity throughput upper bound.
+
+``opt(sigma)`` -- the offline optimal throughput -- is an integral
+multicommodity flow and NP-hard in general, so experiments use computable
+surrogates.  The cheapest is the *single-commodity relaxation*: forget which
+request each packet serves.  Any feasible routing of ``m`` packets induces a
+feasible flow of value ``m`` from a super-source (fanning out to the
+requests' source events) to a super-sink (collecting per-request destination
+windows), hence the max flow upper-bounds ``opt``.  On lines the bound is
+usually tight for monotone instances (crossing paths can be uncrossed); the
+test-suite compares it against :func:`repro.packing.exact.exact_opt_small`.
+
+The solver is a self-contained Dinic implementation (BFS level graph +
+blocking-flow DFS with the current-arc optimisation), adequate for the
+space-time graphs used in the benches (tens of thousands of edges).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.network.topology import Network
+from repro.util.errors import ValidationError
+
+
+class Dinic:
+    """Dinic's max-flow on a graph with ``n`` integer-id nodes."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.head: list = [[] for _ in range(n)]  # node -> list of edge ids
+        self.to: list = []
+        self.cap: list = []
+
+    def add_edge(self, u: int, v: int, cap: int) -> int:
+        """Add directed edge ``u -> v``; returns the edge id (the reverse
+        edge is ``id ^ 1``)."""
+        if cap < 0:
+            raise ValidationError(f"negative capacity {cap}")
+        eid = len(self.to)
+        self.head[u].append(eid)
+        self.to.append(v)
+        self.cap.append(cap)
+        self.head[v].append(eid + 1)
+        self.to.append(u)
+        self.cap.append(0)
+        return eid
+
+    def _bfs(self, s: int, t: int) -> bool:
+        self.level = [-1] * self.n
+        self.level[s] = 0
+        dq = deque([s])
+        while dq:
+            u = dq.popleft()
+            for eid in self.head[u]:
+                v = self.to[eid]
+                if self.cap[eid] > 0 and self.level[v] < 0:
+                    self.level[v] = self.level[u] + 1
+                    dq.append(v)
+        return self.level[t] >= 0
+
+    def _dfs(self, s: int, t: int, limit: int) -> int:
+        """Iterative augmenting DFS (paths in space-time graphs can exceed
+        Python's recursion limit)."""
+        path: list = []  # edge ids along the current partial path
+        u = s
+        while True:
+            if u == t:
+                f = limit
+                for eid in path:
+                    f = min(f, self.cap[eid])
+                for eid in path:
+                    self.cap[eid] -= f
+                    self.cap[eid ^ 1] += f
+                return f
+            advanced = False
+            while self.it[u] < len(self.head[u]):
+                eid = self.head[u][self.it[u]]
+                v = self.to[eid]
+                if self.cap[eid] > 0 and self.level[v] == self.level[u] + 1:
+                    path.append(eid)
+                    u = v
+                    advanced = True
+                    break
+                self.it[u] += 1
+            if advanced:
+                continue
+            # dead end: retreat
+            self.level[u] = -1
+            if not path:
+                return 0
+            eid = path.pop()
+            u = self.to[eid ^ 1]
+            self.it[u] += 1
+
+    def max_flow(self, s: int, t: int) -> int:
+        if s == t:
+            raise ValidationError("source equals sink")
+        flow = 0
+        while self._bfs(s, t):
+            self.it = [0] * self.n
+            while True:
+                f = self._dfs(s, t, 1 << 60)
+                if f == 0:
+                    break
+                flow += f
+        return flow
+
+    def flow_on(self, eid: int, original_cap: int) -> int:
+        """Flow currently routed on edge ``eid`` given its original capacity."""
+        return original_cap - self.cap[eid]
+
+
+def throughput_upper_bound(network: Network, requests, horizon: int) -> int:
+    """Single-commodity max-flow upper bound on offline throughput.
+
+    Builds the (tilted) space-time flow network over times ``0..horizon``:
+    transmit edges of capacity ``c``, buffer edges of capacity ``B``, a
+    super-source fanning into the requests' source events, and per-request
+    unit sinks collecting the valid destination copies
+    ``(b_i, t')`` for ``t_i <= t' <= min(d_i, horizon)``.
+    """
+    requests = list(requests)
+    T = int(horizon)
+    n = network.n
+    nt = T + 1
+
+    def vid(node, t):
+        return network.node_index(node) * nt + t
+
+    num_st = n * nt
+    S = num_st
+    TT = num_st + 1
+    first_sink = num_st + 2
+    dinic = Dinic(first_sink + len(requests))
+
+    B, c = network.buffer_size, network.capacity
+    for node in network.nodes():
+        base = network.node_index(node) * nt
+        for t in range(T):
+            if B > 0:
+                dinic.add_edge(base + t, base + t + 1, B)
+            for axis, nbr in network.out_neighbors(node):
+                dinic.add_edge(base + t, vid(nbr, t + 1), c)
+
+    # super-source fan-out, aggregated per source event
+    src_count: dict = {}
+    for r in requests:
+        network.check_request(r)
+        if r.arrival > T:
+            continue
+        key = (r.source, r.arrival)
+        src_count[key] = src_count.get(key, 0) + 1
+    for (node, t), cnt in src_count.items():
+        dinic.add_edge(S, vid(node, t), cnt)
+
+    # per-request sinks over the destination window
+    for i, r in enumerate(requests):
+        if r.arrival > T:
+            continue
+        sink = first_sink + i
+        hi = T if r.deadline is None else min(r.deadline, T)
+        lo = r.arrival + r.distance
+        for t in range(lo, hi + 1):
+            dinic.add_edge(vid(r.dest, t), sink, 1)
+        dinic.add_edge(sink, TT, 1)
+
+    return dinic.max_flow(S, TT)

@@ -1,0 +1,47 @@
+"""Space-time coordinates and the untilting automorphism.
+
+The space-time graph ``G^st`` of a network ``G`` has vertices ``(v, t)``
+(Section 3.1).  Its standard drawing is a tilted lattice; the paper
+rectifies it with the automorphism (Section 3.2)
+
+    ``q(x_1, ..., x_d, t) = (x_1, ..., x_d, t - sum_i x_i)``
+
+after which transmit edges (``E0``) are axis-parallel steps of +1 along a
+space axis and buffer edges (``E1``) are steps of +1 along the last
+("column") axis.  We work in untilted coordinates internally: a vertex is
+``(x_1, ..., x_d, col)`` with ``col = t - sum_i x_i``.
+
+The functions here convert between the two forms.  They operate on plain
+tuples so they can be used on nodes of any dimension.
+"""
+
+from __future__ import annotations
+
+
+def untilt(vertex_t: tuple) -> tuple:
+    """Map a tilted space-time vertex ``(x_1..x_d, t)`` to untilted
+    ``(x_1..x_d, col)`` with ``col = t - sum(x)``."""
+    *space, t = vertex_t
+    return (*space, t - sum(space))
+
+
+def tilt(vertex_c: tuple) -> tuple:
+    """Inverse of :func:`untilt`: ``(x_1..x_d, col) -> (x_1..x_d, t)``."""
+    *space, col = vertex_c
+    return (*space, col + sum(space))
+
+
+def time_of(vertex_c: tuple) -> int:
+    """Real time ``t = col + sum(x)`` of an untilted vertex."""
+    *space, col = vertex_c
+    return col + sum(space)
+
+
+def space_of(vertex_c: tuple) -> tuple:
+    """Space (network node) part of an untilted vertex."""
+    return vertex_c[:-1]
+
+
+def col_of(vertex_c: tuple) -> int:
+    """Column (untilted last axis) of an untilted vertex."""
+    return vertex_c[-1]

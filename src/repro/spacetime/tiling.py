@@ -1,0 +1,194 @@
+"""Tiling of the untilted space-time grid (Sections 3.3 and 7.2).
+
+A tiling partitions ``Z^{d+1}`` into axis-parallel boxes.  The deterministic
+algorithm uses cubes of side ``k`` (Section 3.3); the randomized algorithm
+uses rectangles of height ``Q`` (space axis) and length ``tau`` (column
+axis) positioned by random *phase shifts* ``(phi_Q, phi_tau)``
+(Section 7.2).  Tiles may extend past the valid region of the space-time
+graph; the paper augments such partial tiles with dummy vertices, which we
+model simply by allowing out-of-range coordinates (dummy vertices never
+carry packets, Section 3.3).
+
+Axis convention (matching :mod:`repro.spacetime.graph`): axes ``0..d-1`` are
+space ("north" = increasing), axis ``d`` is the column axis ("east" =
+increasing).  On a line (d = 1) a tile is the paper's rectangle with
+``sides = (Q, tau)`` and ``phases = (phi_Q, phi_tau)``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass
+
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.util.errors import ValidationError
+
+
+class Quadrant(enum.Enum):
+    """Quadrants of a 2-axis tile (Section 7.2, Figure 8).
+
+    "South" is the low half of the space axis, "west" the low half of the
+    column axis.  Requests whose source lies in the SW quadrant form the
+    random subset ``R+`` (Section 7.2).
+    """
+
+    SW = (0, 0)
+    SE = (0, 1)
+    NW = (1, 0)
+    NE = (1, 1)
+
+
+@dataclass(frozen=True)
+class Tiling:
+    """A box tiling of the untilted space-time lattice.
+
+    Parameters
+    ----------
+    sides:
+        Box side length per axis (length ``d+1``; last entry is the column
+        axis).
+    phases:
+        Phase shift per axis, ``0 <= phases[i] < sides[i]``.  The box with
+        index ``(0, ..., 0)`` has lower corner ``phases``.
+    """
+
+    sides: tuple
+    phases: tuple
+
+    def __init__(self, sides, phases=None):
+        sides = tuple(int(s) for s in sides)
+        if any(s < 1 for s in sides):
+            raise ValidationError(f"tile sides must be >= 1, got {sides}")
+        if phases is None:
+            phases = (0,) * len(sides)
+        phases = tuple(int(p) for p in phases)
+        if len(phases) != len(sides):
+            raise ValidationError("phases and sides must have equal length")
+        if any(not (0 <= p < s) for p, s in zip(phases, sides)):
+            raise ValidationError(f"phases {phases} out of range for sides {sides}")
+        object.__setattr__(self, "sides", sides)
+        object.__setattr__(self, "phases", phases)
+
+    @classmethod
+    def cubes(cls, d: int, k: int) -> "Tiling":
+        """Side-``k`` cube tiling for a d-dimensional grid (Section 3.3)."""
+        return cls((k,) * (d + 1))
+
+    # -- membership ---------------------------------------------------------
+
+    @property
+    def naxes(self) -> int:
+        return len(self.sides)
+
+    def tile_of(self, v: tuple) -> tuple:
+        """Tile index of the lattice point ``v``."""
+        if len(v) != self.naxes:
+            raise ValidationError(f"vertex {v} has wrong arity for {self}")
+        return tuple((x - p) // s for x, p, s in zip(v, self.phases, self.sides))
+
+    def origin(self, tile: tuple) -> tuple:
+        """Lower corner of ``tile``."""
+        return tuple(p + i * s for i, p, s in zip(tile, self.phases, self.sides))
+
+    def ranges(self, tile: tuple):
+        """Per-axis half-open ranges ``[lo, hi)`` of ``tile``."""
+        org = self.origin(tile)
+        return [(lo, lo + s) for lo, s in zip(org, self.sides)]
+
+    def local(self, v: tuple) -> tuple:
+        """Offset of ``v`` inside its tile (componentwise, in ``[0, side)``)."""
+        return tuple((x - p) % s for x, p, s in zip(v, self.phases, self.sides))
+
+    def contains(self, tile: tuple, v: tuple) -> bool:
+        return self.tile_of(v) == tile
+
+    # -- quadrants (2-axis tilings, Section 7.2) -----------------------------
+
+    def _check_two_axes(self) -> None:
+        if self.naxes != 2:
+            raise ValidationError("quadrants are defined for 2-axis tilings (d = 1)")
+        if any(s % 2 for s in self.sides):
+            raise ValidationError(
+                f"quadrant geometry requires even tile sides, got {self.sides}"
+            )
+
+    def quadrant_of(self, v: tuple) -> Quadrant:
+        """Quadrant of ``v`` within its tile (requires even sides)."""
+        self._check_two_axes()
+        loc = self.local(v)
+        return Quadrant(
+            (int(loc[0] >= self.sides[0] // 2), int(loc[1] >= self.sides[1] // 2))
+        )
+
+    def quadrant_ranges(self, tile: tuple, quadrant: Quadrant):
+        """Per-axis ranges of ``quadrant`` inside ``tile``."""
+        self._check_two_axes()
+        out = []
+        for axis, half in enumerate(quadrant.value):
+            lo, hi = self.ranges(tile)[axis]
+            mid = lo + self.sides[axis] // 2
+            out.append((lo, mid) if half == 0 else (mid, hi))
+        return out
+
+    # -- enumeration over a space-time graph ---------------------------------
+
+    def tile_bounds(self, graph: SpaceTimeGraph):
+        """Inclusive per-axis tile index ranges covering the valid region."""
+        bounds = []
+        for axis, dim in enumerate(graph.network.dims):
+            lo = self.tile_of_axis(axis, 0)
+            hi = self.tile_of_axis(axis, dim - 1)
+            bounds.append((lo, hi))
+        caxis = self.naxes - 1
+        lo = self.tile_of_axis(caxis, -graph.col_offset)
+        hi = self.tile_of_axis(caxis, graph.horizon)
+        bounds.append((lo, hi))
+        return bounds
+
+    def tile_of_axis(self, axis: int, coord: int) -> int:
+        return (coord - self.phases[axis]) // self.sides[axis]
+
+    def tile_has_valid_vertex(self, graph: SpaceTimeGraph, tile: tuple) -> bool:
+        """True when ``tile`` intersects the graph's valid region."""
+        rng = self.ranges(tile)
+        sx_min = sx_max = 0
+        for axis, dim in enumerate(graph.network.dims):
+            lo = max(rng[axis][0], 0)
+            hi = min(rng[axis][1], dim)
+            if lo >= hi:
+                return False
+            sx_min += lo
+            sx_max += hi - 1
+        clo, chi = rng[-1]
+        # need a col in [clo, chi) with 0 <= col + sx <= horizon for some sx
+        return clo <= graph.horizon - sx_min and chi - 1 >= -sx_max
+
+    def all_tiles(self, graph: SpaceTimeGraph):
+        """Iterate over tiles intersecting the graph's valid region."""
+        bounds = self.tile_bounds(graph)
+        for tile in itertools.product(*(range(lo, hi + 1) for lo, hi in bounds)):
+            if self.tile_has_valid_vertex(graph, tile):
+                yield tile
+
+    def tiles_with_dest_copies(self, graph: SpaceTimeGraph, dest: tuple,
+                               t_lo: int, t_hi: int):
+        """Tiles containing a copy ``(dest, col)`` with time in [t_lo, t_hi].
+
+        Copies of a grid node ``b`` lie on the lattice line with fixed space
+        coordinates ``b`` and column ``col = t' - sum(b)`` (Section 3.1)."""
+        sb = sum(dest)
+        lo_t = max(t_lo, 0)
+        hi_t = min(t_hi, graph.horizon)
+        if lo_t > hi_t:
+            return []
+        caxis = self.naxes - 1
+        space_tile = tuple(
+            self.tile_of_axis(axis, x) for axis, x in enumerate(dest)
+        )
+        c_lo = self.tile_of_axis(caxis, lo_t - sb)
+        c_hi = self.tile_of_axis(caxis, hi_t - sb)
+        return [(*space_tile, c) for c in range(c_lo, c_hi + 1)]
+
+    def __repr__(self) -> str:
+        return f"Tiling(sides={self.sides}, phases={self.phases})"

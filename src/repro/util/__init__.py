@@ -1,0 +1,18 @@
+"""Shared utilities: errors, RNG handling, and small helpers."""
+
+from repro.util.errors import (
+    CapacityError,
+    ReproError,
+    RoutingError,
+    ValidationError,
+)
+from repro.util.rng import as_generator, spawn_generators
+
+__all__ = [
+    "CapacityError",
+    "ReproError",
+    "RoutingError",
+    "ValidationError",
+    "as_generator",
+    "spawn_generators",
+]

@@ -1,0 +1,27 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError` so that
+callers can catch package failures with a single ``except`` clause while
+letting genuine bugs (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ValidationError(ReproError):
+    """An input (request, topology, parameter) failed validation."""
+
+
+class CapacityError(ReproError):
+    """A capacity constraint (link capacity ``c`` or buffer size ``B``) was
+    violated.  Raised by the feasibility checkers; the online algorithms are
+    expected to never trigger it."""
+
+
+class RoutingError(ReproError):
+    """A routing computation reached an inconsistent state (e.g. a detailed
+    path left its sketch path).  Indicates a bug, not an adversarial input."""

@@ -1,0 +1,27 @@
+"""Request-sequence generators: synthetic traffic and the published
+adversarial constructions the lower bounds are built on."""
+
+from repro.workloads.uniform import uniform_requests
+from repro.workloads.poisson import poisson_requests
+from repro.workloads.bursty import bursty_requests
+from repro.workloads.permutation import permutation_requests
+from repro.workloads.deadline import with_deadlines, deadline_requests
+from repro.workloads.adversarial import (
+    clogging_instance,
+    dense_area_instance,
+    distance_cascade_instance,
+    grid_crossfire_instance,
+)
+
+__all__ = [
+    "bursty_requests",
+    "clogging_instance",
+    "deadline_requests",
+    "dense_area_instance",
+    "distance_cascade_instance",
+    "grid_crossfire_instance",
+    "permutation_requests",
+    "poisson_requests",
+    "uniform_requests",
+    "with_deadlines",
+]

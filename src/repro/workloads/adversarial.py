@@ -1,0 +1,116 @@
+"""Adversarial instances behind the published lower bounds (Table 1 / E1).
+
+* :func:`clogging_instance` -- the [AKOR03]-style greedy killer on a line:
+  a sustained stream of maximum-distance packets saturates every link,
+  after which each intermediate node offers single-hop packets.  The
+  optimum rejects the long stream and serves ~``n`` short packets per
+  step; greedy (which cannot decline work) keeps forwarding the long
+  packets and drops the short ones.  Greedy's ratio grows polynomially
+  with ``n``; nearest-to-go fares better (short packets win contention),
+  matching the Omega(sqrt n) vs O~(sqrt n) separation's direction.
+* :func:`distance_cascade_instance` -- geometric distance classes
+  (1, 2, 4, ..., n/2) injected so that serving a longer class always blocks
+  geometrically many shorter ones; stresses NTG as well, in the spirit of
+  the Omega(sqrt n) constructions.
+* :func:`dense_area_instance` -- many sources packed in a small region all
+  wanting to leave it (Section 1.3's perimeter-vs-area obstruction; the
+  motivation for random sparsification).
+* :func:`grid_crossfire_instance` -- on a 2-d grid, row traffic and column
+  traffic cross in a central block, the regime of [AKK09]'s
+  Theta~(n^{2/3}) bound for 1-bend NTG.
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Request
+from repro.network.topology import GridNetwork, LineNetwork, Network
+from repro.util.errors import ValidationError
+from repro.util.rng import as_generator
+
+
+def clogging_instance(network: LineNetwork, duration: int | None = None,
+                      shorts_per_node: int | None = None) -> list:
+    """Long-stream-plus-shorts greedy killer on a line.
+
+    For ``duration`` steps, ``c`` packets ``0 -> n-1`` are injected at node
+    0 per step.  While the stream passes node ``i``, the node offers
+    ``shorts_per_node`` one-hop packets ``i -> i+1`` per step.
+    """
+    n, c = network.length, network.capacity
+    if n < 4:
+        raise ValidationError("clogging instance needs n >= 4")
+    duration = duration if duration is not None else n
+    shorts = shorts_per_node if shorts_per_node is not None else c
+    out = []
+    for t in range(duration):
+        for _ in range(c):
+            out.append(Request.line(0, n - 1, t))
+    # the long wave front reaches node i at time ~i and keeps the link
+    # (i, i+1) busy until ~i + duration
+    for i in range(1, n - 1):
+        for t in range(i, i + duration):
+            for _ in range(shorts):
+                out.append(Request.line(i, i + 1, t))
+    return out
+
+
+def distance_cascade_instance(network: LineNetwork, rng=None,
+                              per_class: int | None = None) -> list:
+    """Geometric distance classes: 2^j-hop packets, injected at multiples
+    of 2^j, so each class saturates the links the next shorter class
+    needs."""
+    rng = as_generator(rng)
+    n, c = network.length, network.capacity
+    out = []
+    j = 0
+    while (1 << j) < n:
+        dist = 1 << j
+        count = per_class if per_class is not None else c
+        for start in range(0, n - dist, dist):
+            for _ in range(count):
+                t = int(rng.integers(0, max(1, j + 1)))
+                out.append(Request.line(start, start + dist, t))
+        j += 1
+    return out
+
+
+def dense_area_instance(network: Network, area_side: int, per_node: int,
+                        t0: int = 0) -> list:
+    """All nodes of the low-corner ``area_side``-box inject ``per_node``
+    packets at time ``t0`` destined to the far corner of the grid.
+
+    The number of injected packets scales with the box volume while the
+    escape capacity scales with its surface -- Section 1.3's motivation
+    for random sparsification."""
+    dims = network.dims
+    if any(area_side > l for l in dims):
+        raise ValidationError(f"area side {area_side} exceeds grid {dims}")
+    far = tuple(l - 1 for l in dims)
+    out = []
+    import itertools
+
+    for src in itertools.product(*(range(area_side) for _ in dims)):
+        for _ in range(per_node):
+            out.append(Request(src, far, t0))
+    return out
+
+
+def grid_crossfire_instance(network: GridNetwork, width: int | None = None,
+                            rng=None) -> list:
+    """Row streams and column streams crossing in the centre of a 2-d grid
+    (the contention pattern of the [AKK09] n^{2/3} analysis)."""
+    if network.d != 2:
+        raise ValidationError("crossfire instance is for 2-d grids")
+    rng = as_generator(rng)
+    lx, ly = network.dims
+    width = width if width is not None else max(1, min(lx, ly) // 4)
+    out = []
+    y0 = ly // 2 - width // 2
+    x0 = lx // 2 - width // 2
+    for y in range(y0, min(ly, y0 + width)):
+        for t in range(width):
+            out.append(Request((0, y), (lx - 1, y), t))
+    for x in range(x0, min(lx, x0 + width)):
+        for t in range(width):
+            out.append(Request((x, 0), (x, ly - 1), t))
+    return out

@@ -1,0 +1,39 @@
+"""Bursty traffic: hotspots in space and time.
+
+Motivated by the paper's "dense area" discussion (Section 1.3, Random
+Sparsification): the number of packets wanting to leave a region scales
+with its volume while the escape capacity scales with its perimeter, so
+bursts concentrated at few nodes are the regime separating clever admission
+control from greedy behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Request
+from repro.network.topology import Network
+from repro.util.rng import as_generator
+
+
+def bursty_requests(network: Network, bursts: int, burst_size: int,
+                    horizon: int, rng=None, spread: int = 0) -> list:
+    """``bursts`` bursts at random (node, time) hotspots; each burst emits
+    ``burst_size`` requests from nodes within ``spread`` hops of the
+    hotspot, with independent random destinations."""
+    rng = as_generator(rng)
+    out = []
+    dims = network.dims
+    for _ in range(bursts):
+        center = tuple(int(rng.integers(0, l)) for l in dims)
+        t0 = int(rng.integers(0, max(1, horizon)))
+        for _ in range(burst_size):
+            src = tuple(
+                int(min(l - 1, max(0, x + rng.integers(-spread, spread + 1))))
+                for x, l in zip(center, dims)
+            )
+            dst = tuple(int(rng.integers(s, l)) for s, l in zip(src, dims))
+            if src == dst:
+                dst = tuple(min(s + 1, l - 1) for s, l in zip(src, dims))
+                if src == dst:
+                    continue
+            out.append(Request(src, dst, t0))
+    return out

@@ -1,0 +1,33 @@
+"""Deadline workloads (Section 5.4 / experiment E12)."""
+
+from __future__ import annotations
+
+from repro.network.packet import Request
+from repro.network.topology import Network
+from repro.util.rng import as_generator
+from repro.workloads.uniform import uniform_requests
+
+
+def with_deadlines(requests, slack: int, rng=None, jitter: int = 0) -> list:
+    """Copy ``requests`` with deadlines ``t_i + dist + slack (+- jitter)``.
+
+    ``slack = 0`` forces delivery along a shortest schedule (no buffering
+    allowed anywhere); larger slack admits buffering.
+    """
+    rng = as_generator(rng)
+    out = []
+    for r in requests:
+        extra = slack if jitter == 0 else slack + int(rng.integers(0, jitter + 1))
+        out.append(
+            Request(r.source, r.dest, r.arrival,
+                    deadline=r.arrival + r.distance + extra, rid=r.rid)
+        )
+    return out
+
+
+def deadline_requests(network: Network, num: int, horizon: int, slack: int,
+                      rng=None, jitter: int = 0) -> list:
+    """Uniform requests with feasible deadlines of the given slack."""
+    rng = as_generator(rng)
+    base = uniform_requests(network, num, horizon, rng)
+    return with_deadlines(base, slack, rng, jitter)

@@ -1,0 +1,34 @@
+"""Permutation traffic: each node sends to a distinct random target.
+
+Classic crossbar workload (the paper's Section 1.1 notes 2-d grids serve
+as crossbars): node ``i`` of the first half sends to a random node of the
+second half, all injected in a short window.
+"""
+
+from __future__ import annotations
+
+from repro.network.packet import Request
+from repro.network.topology import Network
+from repro.util.rng import as_generator
+
+
+def permutation_requests(network: Network, rng=None, window: int = 1,
+                         rounds: int = 1) -> list:
+    """For each round, sources in the "low" half of the grid send to a
+    random permutation of targets in the "high" half (componentwise
+    dominance is guaranteed by the half split); arrivals are uniform in
+    ``[r * window, (r+1) * window)``."""
+    rng = as_generator(rng)
+    dims = network.dims
+    lows = [n for n in network.nodes() if all(x < l // 2 for x, l in zip(n, dims))]
+    highs = [n for n in network.nodes() if all(x >= l // 2 for x, l in zip(n, dims))]
+    out = []
+    if not lows or not highs:
+        return out
+    for r in range(rounds):
+        perm = rng.permutation(len(highs))
+        for i, src in enumerate(lows):
+            dst = highs[perm[i % len(highs)]]
+            t = r * window + int(rng.integers(0, max(1, window)))
+            out.append(Request(src, dst, t))
+    return out

@@ -1,0 +1,31 @@
+"""Poisson-arrival traffic (open-loop load model)."""
+
+from __future__ import annotations
+
+from repro.network.packet import Request
+from repro.network.topology import Network
+from repro.util.rng import as_generator
+
+
+def poisson_requests(network: Network, rate: float, horizon: int, rng=None,
+                     max_requests: int | None = None) -> list:
+    """Per time step, a Poisson(``rate``) number of requests arrive, each
+    with a uniform source and a uniform dominating destination.
+
+    ``rate`` is the network-wide arrival intensity per step; ``rate / n``
+    per node.  Use ``max_requests`` to cap the sequence length in sweeps.
+    """
+    rng = as_generator(rng)
+    out = []
+    dims = network.dims
+    for t in range(horizon + 1):
+        k = int(rng.poisson(rate))
+        for _ in range(k):
+            src = tuple(int(rng.integers(0, l)) for l in dims)
+            dst = tuple(int(rng.integers(s, l)) for s, l in zip(src, dims))
+            if src == dst:
+                continue
+            out.append(Request(src, dst, t))
+            if max_requests is not None and len(out) >= max_requests:
+                return out
+    return out

@@ -1,0 +1,35 @@
+"""Uniform random request generation."""
+
+from __future__ import annotations
+
+from repro.network.packet import Request
+from repro.network.topology import Network
+from repro.util.rng import as_generator
+
+
+def uniform_requests(network: Network, num: int, horizon: int, rng=None,
+                     min_distance: int = 1) -> list:
+    """``num`` requests with uniformly random source, destination
+    (dominating the source by at least ``min_distance`` hops in total) and
+    arrival time in ``[0, horizon]``.
+
+    Sources/destinations are drawn by sampling the source uniformly, then
+    each destination coordinate uniformly from ``[source_i, l_i)``;
+    degenerate draws below ``min_distance`` are resampled (bounded retries,
+    then the farthest corner is used).
+    """
+    rng = as_generator(rng)
+    out = []
+    dims = network.dims
+    for _ in range(num):
+        for _attempt in range(64):
+            src = tuple(int(rng.integers(0, l)) for l in dims)
+            dst = tuple(int(rng.integers(s, l)) for s, l in zip(src, dims))
+            if sum(d - s for s, d in zip(src, dst)) >= min_distance:
+                break
+        else:
+            src = tuple(0 for _ in dims)
+            dst = tuple(l - 1 for l in dims)
+        t = int(rng.integers(0, max(1, horizon)))
+        out.append(Request(src, dst, t))
+    return out

@@ -1,0 +1,34 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.topology import GridNetwork, LineNetwork
+
+
+@pytest.fixture
+def line8():
+    """Small unit-capacity line."""
+    return LineNetwork(8, buffer_size=1, capacity=1)
+
+
+@pytest.fixture
+def line16_b3c3():
+    """Line satisfying the deterministic algorithm's B, c >= 3."""
+    return LineNetwork(16, buffer_size=3, capacity=3)
+
+
+@pytest.fixture
+def line32_b3c3():
+    return LineNetwork(32, buffer_size=3, capacity=3)
+
+
+@pytest.fixture
+def grid4x4():
+    return GridNetwork((4, 4), buffer_size=3, capacity=3)
+
+
+@pytest.fixture
+def bufferless8():
+    return LineNetwork(8, buffer_size=0, capacity=1)

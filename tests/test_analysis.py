@@ -1,0 +1,108 @@
+"""Tests for the analysis harness (metrics, runner, tables)."""
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import Evaluation, competitive_ratio, evaluate_plan, evaluate_policy
+from repro.analysis.runner import ExperimentResult, run_trials, sweep
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import run_greedy
+from repro.core.base import Plan, RouteOutcome
+from repro.core.deterministic.variants import BufferlessLineRouter
+from repro.network.topology import LineNetwork
+from repro.spacetime.graph import STPath
+from repro.util.errors import ReproError
+from repro.workloads.uniform import uniform_requests
+
+
+class TestEvaluation:
+    def test_ratio(self):
+        ev = Evaluation(throughput=5, bound=10.0, requests=20)
+        assert ev.ratio == 2.0
+        assert ev.goodput == 0.5
+
+    def test_zero_throughput(self):
+        ev = Evaluation(throughput=0, bound=10.0, requests=20)
+        assert ev.ratio == math.inf
+
+    def test_empty_instance(self):
+        ev = Evaluation(throughput=0, bound=0.0, requests=0)
+        assert ev.ratio == 1.0 and ev.goodput == 1.0
+
+    def test_evaluate_policy(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 10, 8, rng=0)
+        res = run_greedy(net, reqs, 40)
+        ev = evaluate_policy(net, res, reqs, 40)
+        assert ev.throughput == res.throughput
+        assert ev.bound >= ev.throughput
+
+    def test_evaluate_plan_verifies(self):
+        net = LineNetwork(8, buffer_size=0, capacity=1)
+        reqs = uniform_requests(net, 8, 8, rng=1)
+        plan = BufferlessLineRouter(net, 32).route(reqs)
+        ev = evaluate_plan(net, plan, reqs, 32)
+        assert ev.throughput == plan.throughput
+
+    def test_evaluate_plan_detects_mismatch(self):
+        net = LineNetwork(8, buffer_size=0, capacity=1)
+        reqs = uniform_requests(net, 4, 4, rng=2)
+        plan = Plan()
+        # claim a delivery with a path that does not reach the destination
+        r = reqs[0]
+        bogus = STPath((r.source[0], r.arrival - r.source[0]), (), rid=r.rid)
+        plan.record(r.rid, RouteOutcome.DELIVERED, bogus)
+        if r.distance > 0:
+            with pytest.raises(ReproError):
+                evaluate_plan(net, plan, reqs, 32)
+
+    def test_competitive_ratio_function(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 6, 6, rng=3)
+        assert competitive_ratio(net, 3, reqs, 30) >= 1.0
+
+
+class TestRunner:
+    def test_experiment_result_stats(self):
+        r = ExperimentResult("x")
+        for v in (1.0, 2.0, 3.0):
+            r.add(v)
+        assert r.mean == 2.0 and r.best == 1.0 and r.worst == 3.0
+        assert r.std > 0
+
+    def test_infinities_excluded_from_mean(self):
+        r = ExperimentResult("x")
+        r.add(1.0)
+        r.add(math.inf)
+        assert r.mean == 1.0 and r.worst == math.inf
+
+    def test_run_trials_deterministic(self):
+        a = run_trials(lambda rng: float(rng.integers(0, 100)), 5, base_seed=1)
+        b = run_trials(lambda rng: float(rng.integers(0, 100)), 5, base_seed=1)
+        assert a.values == b.values
+        assert len(a.values) == 5
+
+    def test_sweep_shape(self):
+        out = sweep(lambda p, rng: float(p * 2), [1, 2, 3], seeds=2)
+        assert set(out) == {1, 2, 3}
+        assert out[2].mean == 4.0
+
+    def test_summary_text(self):
+        r = ExperimentResult("ratio")
+        r.add(2.0)
+        assert "ratio" in r.summary() and "mean=2.000" in r.summary()
+
+
+class TestTables:
+    def test_format_basic(self):
+        text = format_table(["n", "ratio"], [[8, 1.5], [16, 2.25]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "ratio" in lines[1]
+        assert "2.250" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "bbbb"], [["x", "y"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(row)

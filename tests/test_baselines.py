@@ -1,0 +1,118 @@
+"""Tests for the greedy and nearest-to-go baselines."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyPolicy, one_bend_axis, run_greedy
+from repro.baselines.nearest_to_go import ntg_key, run_nearest_to_go
+from repro.baselines.offline import offline_bound
+from repro.network.packet import Packet, Request
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.util.errors import ValidationError
+from repro.workloads.adversarial import clogging_instance
+from repro.workloads.uniform import uniform_requests
+
+
+class TestOneBendRouting:
+    def test_first_axis_first(self):
+        pkt = Packet(request=Request((0, 0), (2, 2), 0), location=(0, 0), injected_at=0)
+        assert one_bend_axis(pkt) == 0
+        pkt.location = (2, 0)
+        assert one_bend_axis(pkt) == 1
+
+    def test_at_destination_raises(self):
+        pkt = Packet(request=Request((0, 0), (2, 2), 0), location=(2, 2), injected_at=0)
+        with pytest.raises(ValidationError):
+            one_bend_axis(pkt)
+
+
+class TestGreedy:
+    def test_delivers_light_load(self):
+        net = LineNetwork(8, buffer_size=2, capacity=1)
+        reqs = uniform_requests(net, 5, 8, rng=1)
+        res = run_greedy(net, reqs, 64)
+        assert res.throughput == 5
+
+    def test_unknown_priority(self):
+        with pytest.raises(ValidationError):
+            GreedyPolicy("magic")
+
+    def test_priorities_change_behaviour(self):
+        net = LineNetwork(16, buffer_size=2, capacity=1)
+        reqs = clogging_instance(net, duration=6, shorts_per_node=1)
+        t_fifo = run_greedy(net, reqs, 128, priority="fifo").throughput
+        t_lifo = run_greedy(net, reqs, 128, priority="lifo").throughput
+        t_long = run_greedy(net, reqs, 128, priority="longest").throughput
+        assert len({t_fifo, t_lifo, t_long}) >= 2  # not all identical
+
+    def test_grid_delivery(self):
+        net = GridNetwork((4, 4), buffer_size=2, capacity=1)
+        reqs = uniform_requests(net, 6, 8, rng=2)
+        res = run_greedy(net, reqs, 64)
+        assert res.throughput >= 4
+
+    def test_never_violates_capacities(self):
+        # the simulator raises if a policy overcommits; a clean run is the check
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 40, 8, rng=3)
+        res = run_greedy(net, reqs, 64)
+        assert res.stats.max_link_load <= 1
+        assert res.stats.max_buffer_load <= 1
+
+
+class TestNearestToGo:
+    def test_short_beats_long(self):
+        net = LineNetwork(4, buffer_size=0, capacity=1)
+        # long packet arrives at node 1 exactly when a short one is injected
+        reqs = [
+            Request.line(0, 3, 0, rid=0),
+            Request.line(1, 2, 1, rid=1),
+        ]
+        res = run_nearest_to_go(net, reqs, 16)
+        from repro.network.packet import DeliveryStatus
+
+        assert res.status[1] == DeliveryStatus.DELIVERED
+        assert res.status[0] != DeliveryStatus.DELIVERED  # dropped at node 1
+
+    def test_ntg_key_ordering(self):
+        near = Packet(request=Request.line(0, 1, 0, rid=0), location=(0,), injected_at=0)
+        far = Packet(request=Request.line(0, 5, 0, rid=1), location=(0,), injected_at=0)
+        assert ntg_key(near) < ntg_key(far)
+
+    def test_beats_greedy_on_clogging(self):
+        net = LineNetwork(16, buffer_size=2, capacity=1)
+        reqs = clogging_instance(net, duration=8, shorts_per_node=1)
+        greedy = run_greedy(net, reqs, 160).throughput
+        ntg = run_nearest_to_go(net, reqs, 160).throughput
+        assert ntg > greedy
+
+    def test_grid_one_bend(self):
+        net = GridNetwork((5, 5), buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 8, 6, rng=4)
+        res = run_nearest_to_go(net, reqs, 64)
+        assert res.throughput >= 5
+
+
+class TestOfflineBound:
+    def test_methods_agree_on_tiny(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 4, 3, rng=5)
+        exact = offline_bound(net, reqs, 8, "exact")
+        lp = offline_bound(net, reqs, 8, "lp")
+        mf = offline_bound(net, reqs, 8, "maxflow")
+        assert exact <= lp + 1e-9 and exact <= mf
+
+    def test_empty_requests(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        assert offline_bound(net, [], 8) == 0.0
+
+    def test_unknown_method(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        with pytest.raises(ValidationError):
+            offline_bound(net, [Request.line(0, 1, 0)], 8, "oracle")
+
+    def test_online_never_beats_bound(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 15, 8, rng=6)
+        bound = offline_bound(net, reqs, 40)
+        assert run_greedy(net, reqs, 40).throughput <= bound
+        assert run_nearest_to_go(net, reqs, 40).throughput <= bound

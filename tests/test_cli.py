@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.n == 64 and args.B == 1 and args.c == 1
+
+    def test_route_args(self):
+        args = build_parser().parse_args(
+            ["route", "det", "--dims", "8x8", "-B", "3", "-c", "3"]
+        )
+        assert args.algorithm == "det" and args.dims == "8x8"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "magic"])
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "-n", "16", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "offline bound" in out
+
+    def test_route_det(self, capsys):
+        assert main([
+            "route", "det", "--dims", "16", "-B", "3", "-c", "3",
+            "--requests", "20", "--arrival-window", "16",
+            "--horizon", "64", "--seed", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ratio" in out
+
+    def test_route_bufferless(self, capsys):
+        assert main([
+            "route", "bufferless", "--dims", "16", "-B", "0", "-c", "1",
+            "--requests", "20", "--arrival-window", "16",
+            "--horizon", "48", "--seed", "3",
+        ]) == 0
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "greedy", "ntg", "--dims", "16", "-B", "2", "-c", "1",
+            "--requests", "30", "--arrival-window", "16",
+            "--horizon", "64",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "greedy" in out and "ntg" in out
+
+    def test_compare_reports_unavailable(self, capsys):
+        # det requires B >= 3; with B = 1 it must degrade gracefully
+        assert main([
+            "compare", "det", "--dims", "16", "-B", "1", "-c", "1",
+            "--requests", "10", "--arrival-window", "8", "--horizon", "32",
+        ]) == 0
+        assert "n/a" in capsys.readouterr().out
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "Figure 8/9" in out
+
+    def test_clogging_workload(self, capsys):
+        assert main([
+            "route", "ntg", "--dims", "16", "-B", "2", "-c", "1",
+            "--workload", "clogging", "--horizon", "96",
+        ]) == 0

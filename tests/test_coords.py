@@ -1,0 +1,67 @@
+"""Tests for the untilting automorphism (Section 3.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.spacetime.coords import col_of, space_of, tilt, time_of, untilt
+
+coords = st.tuples(st.integers(0, 50), st.integers(0, 50), st.integers(0, 200))
+
+
+class TestUntilt:
+    def test_paper_example(self):
+        # the paper's example: node (2, 1) maps to (2, -1)
+        assert untilt((2, 1)) == (2, -1)
+
+    def test_line_vertex(self):
+        assert untilt((3, 10)) == (3, 7)
+
+    def test_grid_vertex(self):
+        assert untilt((1, 2, 10)) == (1, 2, 7)
+
+    @given(coords)
+    def test_roundtrip_2d(self, v):
+        assert tilt(untilt(v)) == v
+        assert untilt(tilt(v)) == v
+
+    @given(st.tuples(st.integers(0, 50), st.integers(0, 200)))
+    def test_roundtrip_1d(self, v):
+        assert tilt(untilt(v)) == v
+
+    def test_time_of(self):
+        assert time_of(untilt((3, 10))) == 10
+        assert time_of(untilt((1, 2, 10))) == 10
+
+    def test_space_and_col(self):
+        v = untilt((4, 9))
+        assert space_of(v) == (4,) and col_of(v) == 5
+
+
+class TestUntiltMakesEdgesAxisParallel:
+    """Figure 3: E0 edges become space-axis steps, E1 edges column steps."""
+
+    def test_transmit_edge(self):
+        # (u, t) -> (u+1, t+1) keeps the column
+        tail, head = untilt((2, 5)), untilt((3, 6))
+        assert head[0] == tail[0] + 1 and head[1] == tail[1]
+
+    def test_buffer_edge(self):
+        # (u, t) -> (u, t+1) keeps the space coordinate
+        tail, head = untilt((2, 5)), untilt((2, 6))
+        assert head[0] == tail[0] and head[1] == tail[1] + 1
+
+    def test_grid_transmit_edges(self):
+        for axis in range(2):
+            t = (1, 1, 4)
+            h = list(t)
+            h[axis] += 1
+            h[2] += 1
+            tail, head = untilt(t), untilt(tuple(h))
+            diff = [b - a for a, b in zip(tail, head)]
+            assert diff[axis] == 1 and sum(map(abs, diff)) == 1
+
+    @given(coords)
+    def test_automorphism_is_injective_shift(self, v):
+        # q is a bijection of Z^{d+1}: distinct inputs differ after untilt
+        w = (v[0] + 1, v[1], v[2])
+        assert untilt(v) != untilt(w)

@@ -1,0 +1,147 @@
+"""Geometric edge cases of the deterministic pipeline.
+
+These pin behaviours that the uniform-workload tests rarely exercise:
+forced bends under load, sources on tile boundaries, negative-column
+geometry, and the Theorem-13 digraph adapter.
+"""
+
+import pytest
+
+from repro.core.base import RouteOutcome
+from repro.core.deterministic import DeterministicRouter
+from repro.core.deterministic.variants import LargeCapacityRouter, SpaceTimeDigraph
+from repro.network.packet import Request
+from repro.network.simulator import execute_plan
+from repro.network.topology import LineNetwork
+from repro.spacetime.graph import SpaceTimeGraph
+
+
+class TestForcedBends:
+    def test_saturation_forces_buffer_segments(self):
+        """Many duplicates of one request saturate the pure-north sketch
+        route; later accepted paths must detour east (buffer moves)."""
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 256, k=6)
+        reqs = [Request.line(2, 20, 0, rid=i) for i in range(30)]
+        plan = router.route(reqs)
+        delivered_paths = list(plan.paths.values())
+        assert delivered_paths, "something must be delivered"
+        detours = [p for p in delivered_paths if 1 in p.moves]
+        assert detours, "under saturation some delivered path must bend east"
+        # and the whole thing still replays
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 256)
+        assert plan.consistent_with_simulation(result)
+
+    def test_multi_bend_paths_reach_destination(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 256, k=6)
+        reqs = [Request.line(0, 30, t % 3, rid=t) for t in range(24)]
+        plan = router.route(reqs)
+        for rid, path in plan.paths.items():
+            assert path.end(1)[0] == 30
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 256)
+        assert plan.consistent_with_simulation(result)
+
+
+class TestBoundaryGeometry:
+    def test_source_at_tile_corner(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 128, k=8)
+        # source vertex (8, 0): exactly a tile origin with k = 8
+        r = Request.line(8, 25, 8, rid=0)
+        plan = router.route([r])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+
+    def test_source_at_last_row_of_band(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 128, k=8)
+        r = Request.line(7, 25, 0, rid=0)  # top row of band 0
+        plan = router.route([r])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+
+    def test_negative_columns(self):
+        # node 30 at t = 0 has column -30: deep in negative territory
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 128, k=8)
+        r = Request.line(29, 31, 0, rid=0)
+        plan = router.route([r])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+        assert plan.paths[0].start == (29, -29)
+
+    def test_dest_is_last_node(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 128)
+        plan = router.route([Request.line(0, 31, 0, rid=0)])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+
+    def test_arrival_at_horizon_edge(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        router = DeterministicRouter(net, 40)
+        plan = router.route([Request.line(0, 8, 39, rid=0)])
+        # cannot finish within the horizon: must be rejected/preempted
+        assert plan.outcome[0] != RouteOutcome.DELIVERED
+
+
+class TestSpaceTimeDigraph:
+    @pytest.fixture
+    def adapter(self):
+        net = LineNetwork(8, buffer_size=4, capacity=4)
+        graph = SpaceTimeGraph(net, 16)
+        return graph, SpaceTimeDigraph(graph, buffer_cap=2, link_cap=2)
+
+    def test_out_edges(self, adapter):
+        graph, dg = adapter
+        edges = dict(dg.out_edges(("v", (2, 3))))
+        assert (("e", (2, 3), 0), ("v", (3, 3))) in edges.items()
+        assert (("e", (2, 3), 1), ("v", (2, 4))) in edges.items()
+
+    def test_capacities(self, adapter):
+        graph, dg = adapter
+        assert dg.capacity(("e", (2, 3), 0)) == 2
+        assert dg.capacity(("e", (2, 3), 1)) == 2
+
+    def test_zero_buffer_scaled_out(self):
+        net = LineNetwork(8, buffer_size=4, capacity=4)
+        graph = SpaceTimeGraph(net, 16)
+        dg = SpaceTimeDigraph(graph, buffer_cap=0, link_cap=2)
+        moves = {e[2] for e, _ in dg.out_edges(("v", (2, 3)))}
+        assert 1 not in moves  # buffer edges removed entirely
+
+    def test_sink_registration_window(self, adapter):
+        graph, dg = adapter
+        r = Request.line(1, 6, 2, deadline=10, rid=0)
+        sink = dg.register_sink(r)
+        assert sink == ("sink", 0)
+        sink_edges = [
+            e for v in [(6, col) for col in range(-6, 11)]
+            for e, h in dg.out_edges(("v", v))
+            if e[0] == "k"
+            if graph.valid_vertex(v)
+        ]
+        times = {e[1][1] + 6 for e in sink_edges}
+        assert times and all(7 <= t <= 10 for t in times)
+
+    def test_unreachable_sink_is_none(self, adapter):
+        graph, dg = adapter
+        # horizon 16: request arriving at 16 with distance 5 cannot be served
+        r = Request.line(1, 6, 16, rid=1)
+        assert dg.register_sink(r) is None
+
+
+class TestLargeCapacityEdgeCases:
+    def test_paths_are_valid_spacetime_paths(self):
+        net = LineNetwork(16, buffer_size=16, capacity=16)
+        router = LargeCapacityRouter(net, 64)
+        from repro.workloads.uniform import uniform_requests
+
+        reqs = uniform_requests(net, 40, 16, rng=5)
+        plan = router.route(reqs)
+        graph = SpaceTimeGraph(net, 64)
+        for path in plan.paths.values():
+            graph.check_path(path)
+
+    def test_scaled_caps_floor(self):
+        net = LineNetwork(16, buffer_size=13, capacity=13)
+        router = LargeCapacityRouter(net, 64, k=6, strict=False)
+        assert router.digraph.buffer_cap == 2
+        assert router.digraph.link_cap == 2

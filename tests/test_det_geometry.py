@@ -1,0 +1,85 @@
+"""Tests for sketch-path geometry decomposition."""
+
+import pytest
+
+from repro.core.deterministic.geometry import (
+    Run,
+    plain_sketch_tiles,
+    runs_of,
+    sketch_tiles,
+    tile_moves,
+)
+from repro.packing.oracle import OraclePath
+from repro.util.errors import RoutingError
+
+
+def split_path(tiles):
+    nodes = []
+    for t in tiles:
+        nodes.extend([("in", t), ("out", t)])
+    nodes.append(("sink", "x"))
+    return OraclePath((), tuple(nodes), 0.0)
+
+
+class TestSketchTiles:
+    def test_extracts_tiles_and_drops_sink(self):
+        p = split_path([(0, 0), (0, 1), (1, 1)])
+        assert sketch_tiles(p) == [(0, 0), (0, 1), (1, 1)]
+
+    def test_single_tile(self):
+        p = split_path([(2, 3)])
+        assert sketch_tiles(p) == [(2, 3)]
+
+    def test_plain_tiles(self):
+        p = OraclePath((), (("t", (0, 0)), ("t", (1, 0)), ("sink", "d")), 0.0)
+        assert plain_sketch_tiles(p) == [(0, 0), (1, 0)]
+
+    def test_malformed_raises(self):
+        p = OraclePath((), (("out", (0, 0)), ("sink", "x")), 0.0)
+        with pytest.raises(RoutingError):
+            sketch_tiles(p)
+
+
+class TestTileMoves:
+    def test_axes(self):
+        moves = tile_moves([(0, 0), (1, 0), (1, 1), (2, 1)])
+        assert moves == [0, 1, 0]
+
+    def test_empty_for_single(self):
+        assert tile_moves([(0, 0)]) == []
+
+    def test_rejects_diagonal(self):
+        with pytest.raises(RoutingError):
+            tile_moves([(0, 0), (1, 1)])
+
+    def test_rejects_backward(self):
+        with pytest.raises(RoutingError):
+            tile_moves([(1, 0), (0, 0)])
+
+    def test_3d(self):
+        moves = tile_moves([(0, 0, 0), (0, 1, 0), (0, 1, 1)])
+        assert moves == [1, 2]
+
+
+class TestRuns:
+    def test_single_run(self):
+        assert runs_of([0, 0, 0]) == [Run(axis=0, count=3, start=0, end=3)]
+
+    def test_alternating(self):
+        runs = runs_of([0, 1, 0])
+        assert [r.axis for r in runs] == [0, 1, 0]
+        assert [(r.start, r.end) for r in runs] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_grouping(self):
+        runs = runs_of([1, 1, 0, 0, 0, 1])
+        assert [(r.axis, r.count) for r in runs] == [(1, 2), (0, 3), (1, 1)]
+
+    def test_empty(self):
+        assert runs_of([]) == []
+
+    def test_run_boundaries_consistent(self):
+        moves = [0, 0, 1, 0, 1, 1]
+        runs = runs_of(moves)
+        assert runs[0].end == runs[1].start
+        assert runs[-1].end == len(moves)
+        assert sum(r.count for r in runs) == len(moves)

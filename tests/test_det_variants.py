@@ -1,0 +1,135 @@
+"""Tests for the deterministic variants (Theorems 11, 13; Proposition 12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import RouteOutcome
+from repro.core.deterministic import DeterministicRouter
+from repro.core.deterministic.variants import BufferlessLineRouter, LargeCapacityRouter
+from repro.network.packet import Request
+from repro.network.simulator import execute_plan
+from repro.network.topology import LineNetwork
+from repro.packing.exact import exact_opt_small
+from repro.util.errors import ValidationError
+from repro.workloads.uniform import uniform_requests
+
+
+class TestBufferlessLine:
+    def test_requires_b0(self):
+        with pytest.raises(ValidationError):
+            BufferlessLineRouter(LineNetwork(8, buffer_size=1), 16)
+
+    def test_single_packet(self, bufferless8):
+        router = BufferlessLineRouter(bufferless8, 32)
+        plan = router.route([Request.line(1, 6, 2, rid=0)])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+        assert plan.paths[0].arrival_time(1) == 2 + 5
+
+    def test_contention_preempts_farther(self, bufferless8):
+        # long packet arrives at node 2 when a shorter one is injected there
+        reqs = [Request.line(0, 7, 0, rid=0), Request.line(2, 5, 2, rid=1)]
+        router = BufferlessLineRouter(bufferless8, 32)
+        plan = router.route(reqs)
+        assert plan.outcome[1] == RouteOutcome.DELIVERED
+        assert plan.outcome[0] == RouteOutcome.PREEMPTED
+
+    def test_plan_replays(self, bufferless8):
+        reqs = uniform_requests(bufferless8, 20, 8, rng=0)
+        router = BufferlessLineRouter(bufferless8, 32)
+        plan = router.route(reqs)
+        result = execute_plan(bufferless8, plan.all_executable_paths(), reqs, 32)
+        assert plan.consistent_with_simulation(result)
+
+    def test_capacity_channels(self):
+        net = LineNetwork(8, buffer_size=0, capacity=2)
+        reqs = [Request.line(0, 7, 0, rid=i) for i in range(3)]
+        router = BufferlessLineRouter(net, 32)
+        plan = router.route(reqs)
+        delivered = sum(
+            1 for o in plan.outcome.values() if o == RouteOutcome.DELIVERED
+        )
+        assert delivered == 2  # c = 2 identical diagonals fit
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_proposition12_optimality(self, seed):
+        """Prop. 12: nearest-to-go (= online interval packing per diagonal)
+        is optimal on bufferless lines."""
+        net = LineNetwork(7, buffer_size=0, capacity=1)
+        reqs = uniform_requests(net, 6, 5, rng=seed)
+        router = BufferlessLineRouter(net, 16)
+        plan = router.route(reqs)
+        exact, _ = exact_opt_small(net, reqs, 16)
+        assert plan.throughput == exact
+
+    def test_deadline_respected(self, bufferless8):
+        router = BufferlessLineRouter(bufferless8, 32)
+        r = Request.line(0, 5, 0, deadline=5, rid=0)
+        plan = router.route([r])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+
+    def test_horizon_rejects(self, bufferless8):
+        router = BufferlessLineRouter(bufferless8, 4)
+        plan = router.route([Request.line(0, 7, 0, rid=0)])
+        assert plan.outcome[0] == RouteOutcome.REJECTED
+
+
+class TestBufferlessViaMainRouter:
+    def test_theorem11_machinery(self):
+        """The main deterministic router also handles B = 0 (Theorem 11)."""
+        net = LineNetwork(16, buffer_size=0, capacity=3)
+        router = DeterministicRouter(net, 64)
+        reqs = uniform_requests(net, 20, 16, rng=1)
+        plan = router.route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 64)
+        assert plan.consistent_with_simulation(result)
+        assert plan.throughput >= 1
+        # no buffer edges may appear in any path
+        for path in plan.paths.values():
+            assert all(m == 0 for m in path.moves)
+
+
+class TestLargeCapacity:
+    def test_requires_large_caps(self):
+        net = LineNetwork(32, buffer_size=4, capacity=4)
+        with pytest.raises(ValidationError):
+            LargeCapacityRouter(net, 64)
+
+    def test_nonpreemptive_and_feasible(self):
+        net = LineNetwork(32, buffer_size=16, capacity=16)
+        router = LargeCapacityRouter(net, 96)
+        reqs = uniform_requests(net, 60, 32, rng=2)
+        plan = router.route(reqs)
+        assert not plan.truncated  # Theorem 13: reject or route, no preempt
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 96)
+        assert plan.consistent_with_simulation(result)
+
+    def test_scaled_load_bound(self):
+        net = LineNetwork(32, buffer_size=16, capacity=16)
+        router = LargeCapacityRouter(net, 96)
+        reqs = uniform_requests(net, 120, 24, rng=3)
+        router.route(reqs)
+        # IPP load on scaled caps stays within log2(1 + 3 pmax)
+        assert router.ipp.max_load_ratio() <= router.ipp.load_bound() + 1e-9
+
+    def test_good_throughput_light_load(self):
+        net = LineNetwork(32, buffer_size=16, capacity=16)
+        router = LargeCapacityRouter(net, 96)
+        reqs = uniform_requests(net, 40, 32, rng=4)
+        plan = router.route(reqs)
+        assert plan.throughput >= 0.9 * len(reqs)
+
+    def test_deadlines(self):
+        net = LineNetwork(32, buffer_size=16, capacity=16)
+        router = LargeCapacityRouter(net, 96)
+        reqs = [Request.line(0, 20, 0, deadline=25, rid=0)]
+        plan = router.route(reqs)
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+        assert plan.paths[0].arrival_time(1) <= 25
+
+    def test_trivial(self):
+        net = LineNetwork(32, buffer_size=16, capacity=16)
+        router = LargeCapacityRouter(net, 96)
+        plan = router.route([Request.line(4, 4, 1, rid=0)])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED

@@ -1,0 +1,91 @@
+"""Tests for the distributed interval-packing protocol (Section 5.2.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packing.distributed import (
+    DistributedLinePacker,
+    centralized_reference,
+    distribute,
+)
+from repro.packing.interval import Interval, max_disjoint_intervals
+
+
+@st.composite
+def line_intervals(draw):
+    n = draw(st.integers(4, 30))
+    m = draw(st.integers(0, 20))
+    out = []
+    for i in range(m):
+        lo = draw(st.integers(0, n - 2))
+        hi = draw(st.integers(lo + 1, n))
+        out.append(Interval(lo, hi, owner=i))
+    out.sort(key=lambda iv: (iv.lo, iv.owner))
+    return n, out
+
+
+class TestProtocol:
+    def test_single_interval(self):
+        packer = DistributedLinePacker(8)
+        accepted = packer.run(distribute([Interval(2, 5, owner=0)], 8))
+        assert [iv.owner for iv in accepted] == [0]
+
+    def test_preemption_along_the_line(self):
+        packer = DistributedLinePacker(10)
+        ivs = [Interval(0, 9, owner=0), Interval(3, 6, owner=1)]
+        accepted = packer.run(distribute(ivs, 10))
+        assert [iv.owner for iv in accepted] == [1]
+        assert ("preempt", 0) in [(d[1], d[2]) for d in packer.trace.decisions]
+
+    def test_rejection(self):
+        packer = DistributedLinePacker(10)
+        ivs = [Interval(0, 4, owner=0), Interval(2, 8, owner=1)]
+        accepted = packer.run(distribute(ivs, 10))
+        assert [iv.owner for iv in accepted] == [0]
+
+    def test_message_count_is_line_length(self):
+        packer = DistributedLinePacker(16)
+        packer.run({})
+        assert packer.trace.messages == 15
+
+    def test_wrong_processor_raises(self):
+        packer = DistributedLinePacker(8)
+        with pytest.raises(ValueError):
+            packer.run({3: [Interval(4, 6, owner=0)]})
+
+    def test_out_of_range_interval(self):
+        with pytest.raises(ValueError):
+            distribute([Interval(7, 9, owner=0)], 8)
+
+
+class TestEquivalence:
+    """The distributed pass equals the centralized online packer, which in
+    turn is optimal for sorted inputs -- the chain the paper's special
+    segment routing relies on."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(line_intervals())
+    def test_matches_centralized(self, case):
+        n, ivs = case
+        dist = DistributedLinePacker(n).run(distribute(ivs, n))
+        cent = centralized_reference(ivs)
+        assert [(iv.lo, iv.hi, iv.owner) for iv in dist] == [
+            (iv.lo, iv.hi, iv.owner) for iv in cent
+        ]
+
+    @settings(max_examples=100, deadline=None)
+    @given(line_intervals())
+    def test_distributed_is_optimal(self, case):
+        n, ivs = case
+        dist = DistributedLinePacker(n).run(distribute(ivs, n))
+        assert len(dist) == len(max_disjoint_intervals(ivs))
+
+    @settings(max_examples=100, deadline=None)
+    @given(line_intervals())
+    def test_accepted_disjoint(self, case):
+        n, ivs = case
+        dist = DistributedLinePacker(n).run(distribute(ivs, n))
+        dist.sort(key=lambda iv: iv.lo)
+        for a, b in zip(dist, dist[1:]):
+            assert a.hi <= b.lo

@@ -1,0 +1,88 @@
+"""Tests for the exact branch-and-bound optimum."""
+
+import pytest
+
+from repro.network.packet import Request
+from repro.network.topology import LineNetwork
+from repro.packing.exact import enumerate_paths, exact_opt_small
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.util.errors import ValidationError
+
+
+class TestEnumeratePaths:
+    def test_bufferless_single_path(self):
+        net = LineNetwork(4, buffer_size=0, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=6)
+        paths = enumerate_paths(graph, Request.line(0, 3, 0))
+        assert len(paths) == 1
+        assert paths[0].moves == (0, 0, 0)
+
+    def test_buffered_path_count(self):
+        # distance 2, deadline slack 1: shift the single buffer step into
+        # 3 positions (before hop 1, between hops, after... arrival on time)
+        net = LineNetwork(3, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=10)
+        paths = enumerate_paths(graph, Request.line(0, 2, 0, deadline=3))
+        moves = {p.moves for p in paths}
+        assert (0, 0) in moves
+        assert (1, 0, 0) in moves and (0, 1, 0) in moves
+        assert len(paths) == 3  # buffering after arrival is not a path
+
+    def test_limit_enforced(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=40)
+        with pytest.raises(ValidationError):
+            enumerate_paths(graph, Request.line(0, 3, 0), limit=5)
+
+    def test_paths_end_at_destination(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=8)
+        for p in enumerate_paths(graph, Request.line(1, 3, 2)):
+            assert p.end(1)[0] == 3
+
+
+class TestExactOpt:
+    def test_no_contention(self):
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = [Request.line(i, i + 1, 0, rid=i) for i in (0, 2, 4)]
+        value, chosen = exact_opt_small(net, reqs, 5)
+        assert value == 3 and set(chosen) == {0, 2, 4}
+
+    def test_bufferless_contention(self):
+        net = LineNetwork(3, buffer_size=0, capacity=1)
+        reqs = [Request.line(0, 2, 0, rid=0), Request.line(0, 2, 0, rid=1)]
+        value, _ = exact_opt_small(net, reqs, 4)
+        assert value == 1
+
+    def test_buffering_resolves_contention(self):
+        net = LineNetwork(3, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 2, 0, rid=0), Request.line(0, 2, 0, rid=1)]
+        value, chosen = exact_opt_small(net, reqs, 8)
+        assert value == 2
+        # the chosen paths must be capacity-feasible
+        ledger = SpaceTimeGraph(net, 8).ledger()
+        for path in chosen.values():
+            ledger.add_path(path)  # raises on violation
+
+    def test_request_limit(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 1, t, rid=t) for t in range(20)]
+        with pytest.raises(ValidationError):
+            exact_opt_small(net, reqs, 30)
+
+    def test_deadline_contention(self):
+        net = LineNetwork(3, buffer_size=2, capacity=1)
+        reqs = [
+            Request.line(0, 2, 0, deadline=2, rid=0),
+            Request.line(0, 2, 0, deadline=2, rid=1),
+        ]
+        value, _ = exact_opt_small(net, reqs, 6)
+        assert value == 1  # second packet cannot make the deadline
+
+    def test_witness_paths_serve_right_requests(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 3, 0, rid=0), Request.line(1, 4, 1, rid=1)]
+        value, chosen = exact_opt_small(net, reqs, 10)
+        assert value == 2
+        assert chosen[0].start == (0, 0)
+        assert chosen[1].start == (1, 0)

@@ -1,0 +1,195 @@
+"""Tests for interval packing (Section 5.2.1 / GLL82)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.packing.interval import Interval, OnlineIntervalPacker, max_disjoint_intervals
+
+
+def ivs(pairs, owner_start=0):
+    return [Interval(lo, hi, owner=owner_start + i) for i, (lo, hi) in enumerate(pairs)]
+
+
+class TestInterval:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Interval(3, 3)
+
+    def test_open_overlap(self):
+        a, b = Interval(0, 5), Interval(5, 8)
+        assert not a.overlaps(b)  # endpoints may be shared (open intervals)
+
+    def test_real_overlap(self):
+        assert Interval(0, 5).overlaps(Interval(4, 8))
+        assert Interval(4, 8).overlaps(Interval(0, 5))
+
+    def test_containment_overlaps(self):
+        assert Interval(0, 10).overlaps(Interval(3, 4))
+
+
+class TestOfflineOptimal:
+    def test_simple(self):
+        chosen = max_disjoint_intervals(ivs([(0, 3), (2, 5), (4, 7)]))
+        assert len(chosen) == 2
+
+    def test_nested(self):
+        chosen = max_disjoint_intervals(ivs([(0, 10), (1, 2), (3, 4), (5, 6)]))
+        assert len(chosen) == 3
+
+    def test_empty(self):
+        assert max_disjoint_intervals([]) == []
+
+    def test_all_disjoint(self):
+        pairs = [(i * 2, i * 2 + 1) for i in range(5)]
+        assert len(max_disjoint_intervals(ivs(pairs))) == 5
+
+
+class TestOnlineRule:
+    def test_accept_disjoint(self):
+        p = OnlineIntervalPacker()
+        ok, victims = p.offer(Interval(0, 3, owner=1))
+        assert ok and not victims
+        ok, victims = p.offer(Interval(3, 6, owner=2))
+        assert ok and not victims
+        assert len(p.accepted) == 2
+
+    def test_reject_longer(self):
+        # paper rule: if b_i > b_j the newcomer is rejected
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 4, owner=1))
+        ok, victims = p.offer(Interval(2, 6, owner=2))
+        assert not ok and not victims
+        assert p.accepted[0].owner == 1
+
+    def test_preempt_shorter(self):
+        # if b_i <= b_j the newcomer preempts
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 9, owner=1))
+        ok, victims = p.offer(Interval(2, 5, owner=2))
+        assert ok and victims[0].owner == 1
+        assert [iv.owner for iv in p.accepted] == [2]
+
+    def test_equal_right_endpoint_preempts(self):
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 5, owner=1))
+        ok, victims = p.offer(Interval(2, 5, owner=2))
+        assert ok and victims
+
+    def test_multi_conflict_rejects(self):
+        # overlapping two disjoint accepted intervals forces b_i past the
+        # leftmost conflict's right endpoint, so the rule always rejects;
+        # at most one victim is ever preempted
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 3, owner=1))
+        p.offer(Interval(4, 5, owner=2))
+        ok, victims = p.offer(Interval(2, 5, owner=3))
+        assert not ok and not victims
+        assert [iv.owner for iv in p.accepted] == [1, 2]
+
+    def test_multi_conflict_rejected_when_dominated(self):
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 3, owner=1))
+        p.offer(Interval(4, 5, owner=2))
+        ok, victims = p.offer(Interval(2, 6, owner=3))
+        assert not ok
+
+    def test_would_accept_dry_run(self):
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 4, owner=1))
+        assert p.would_accept(Interval(1, 3, owner=2))
+        assert not p.would_accept(Interval(2, 6, owner=2))
+        assert len(p.accepted) == 1  # unchanged
+
+    def test_release(self):
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 4, owner=7))
+        assert p.release(7)
+        assert not p.accepted
+        assert not p.release(7)
+
+    def test_replace_shrinks(self):
+        p = OnlineIntervalPacker()
+        iv = Interval(0, 8, owner=1)
+        p.offer(iv)
+        p.replace(iv, Interval(0, 3, owner=1))
+        assert p.accepted[0].hi == 3
+        # the freed range is available again
+        ok, _ = p.offer(Interval(3, 8, owner=2))
+        assert ok
+
+    def test_replace_drop(self):
+        p = OnlineIntervalPacker()
+        iv = Interval(0, 8, owner=1)
+        p.offer(iv)
+        p.replace(iv, None)
+        assert not p.accepted
+
+    def test_holds(self):
+        p = OnlineIntervalPacker()
+        iv = Interval(2, 8, owner=1)
+        p.offer(iv)
+        assert p.holds(iv)
+        assert not p.holds(Interval(2, 9, owner=1))
+
+    def test_insert_raw_bypasses_rule(self):
+        p = OnlineIntervalPacker()
+        p.insert_raw(Interval(0, 4, owner=1))
+        assert len(p.accepted) == 1
+
+    def test_histories(self):
+        p = OnlineIntervalPacker()
+        p.offer(Interval(0, 9, owner=1))
+        p.offer(Interval(1, 4, owner=2))  # preempts 1
+        p.offer(Interval(2, 12, owner=3))  # rejected
+        assert [iv.owner for iv in p.preempted] == [1]
+        assert [iv.owner for iv in p.rejected] == [3]
+
+
+@st.composite
+def sorted_interval_seq(draw):
+    """Intervals with nondecreasing left endpoints (the paper's regime)."""
+    n = draw(st.integers(1, 25))
+    lo = 0
+    out = []
+    for i in range(n):
+        lo += draw(st.integers(0, 3))
+        length = draw(st.integers(1, 8))
+        out.append(Interval(lo, lo + length, owner=i))
+    return out
+
+
+class TestOptimality:
+    """The online preemptive rule keeps an optimal packing of the prefix
+    when intervals arrive sorted by left endpoint (Section 5.2.1)."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(sorted_interval_seq())
+    def test_matches_offline_optimum(self, seq):
+        packer = OnlineIntervalPacker()
+        for iv in seq:
+            packer.offer(iv)
+        online = len(packer.accepted)
+        offline = len(max_disjoint_intervals(seq))
+        assert online == offline
+
+    @settings(max_examples=100, deadline=None)
+    @given(sorted_interval_seq())
+    def test_accepted_always_disjoint(self, seq):
+        packer = OnlineIntervalPacker()
+        for iv in seq:
+            packer.offer(iv)
+            acc = packer.accepted
+            for a, b in zip(acc, acc[1:]):
+                assert a.hi <= b.lo
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 30), st.integers(1, 8)),
+                    min_size=1, max_size=20))
+    def test_disjoint_even_unsorted(self, pairs):
+        packer = OnlineIntervalPacker()
+        for i, (lo, length) in enumerate(pairs):
+            packer.offer(Interval(lo, lo + length, owner=i))
+        acc = sorted(packer.accepted)
+        for a, b in zip(acc, acc[1:]):
+            assert a.hi <= b.lo

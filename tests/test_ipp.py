@@ -1,0 +1,144 @@
+"""Tests for Algorithm 3 (online integral path packing, Theorem 1)."""
+
+import math
+
+import pytest
+
+from repro.network.packet import Request
+from repro.network.topology import LineNetwork
+from repro.packing.ipp import OnlinePathPacking
+from repro.packing.lp import fractional_opt
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.spacetime.sketch import PlainSketchGraph
+from repro.spacetime.tiling import Tiling
+from repro.util.errors import ValidationError
+
+
+class ParallelEdges:
+    """k parallel unit-capacity edges s -> t (weight growth fixture)."""
+
+    def __init__(self, cap=1.0):
+        self.cap = cap
+
+    def out_edges(self, u):
+        if u == "s":
+            yield "e", "t"
+
+    def capacity(self, edge):
+        return self.cap
+
+
+@pytest.fixture
+def sketch_setup():
+    net = LineNetwork(16, buffer_size=2, capacity=2)
+    graph = SpaceTimeGraph(net, horizon=32)
+    sketch = PlainSketchGraph(graph, Tiling((4, 4)))
+    return net, graph, sketch
+
+
+class TestWeightUpdate:
+    def test_single_edge_saturates_after_log_pmax(self):
+        g = ParallelEdges(cap=1.0)
+        pmax = 64
+        ipp = OnlinePathPacking(g, pmax=pmax)
+        accepted = 0
+        for _ in range(100):
+            if ipp.route("s", "t") is not None:
+                accepted += 1
+        # unit edge accepts ~log2(pmax) requests before x_e >= 1
+        assert accepted <= math.log2(1 + 3 * pmax) + 1
+        assert accepted >= math.log2(pmax) - 2
+
+    def test_update_formula(self):
+        g = ParallelEdges(cap=2.0)
+        ipp = OnlinePathPacking(g, pmax=10)
+        ipp.route("s", "t")
+        factor = 2 ** 0.5
+        assert ipp.x["e"] == pytest.approx((factor - 1) / 10)
+        ipp.route("s", "t")
+        assert ipp.x["e"] == pytest.approx(
+            (factor - 1) / 10 * factor + (factor - 1) / 10
+        )
+
+    def test_rejects_when_weight_reaches_one(self):
+        g = ParallelEdges(cap=1.0)
+        ipp = OnlinePathPacking(g, pmax=2)
+        while ipp.route("s", "t") is not None:
+            pass
+        assert ipp.x["e"] >= 1.0
+        assert ipp.stats.rejected >= 1
+
+    def test_load_bound_value(self):
+        ipp = OnlinePathPacking(ParallelEdges(), pmax=100)
+        assert ipp.load_bound() == pytest.approx(math.log2(301))
+
+    def test_pmax_validation(self):
+        with pytest.raises(ValidationError):
+            OnlinePathPacking(ParallelEdges(), pmax=0)
+
+
+class TestTheorem1Invariants:
+    def test_invariants_on_sketch_graph(self, sketch_setup):
+        net, graph, sketch = sketch_setup
+        ipp = OnlinePathPacking(sketch, pmax=4 * net.n)
+        sink = sketch.register_sink("d", (14,), 0, graph.horizon)
+        src = sketch.source_node(Request.line(1, 14, 0))
+        for _ in range(60):
+            ipp.route(src, sink)
+        ipp.check_theorem1_invariants()
+        assert ipp.stats.accepted > 0
+
+    def test_load_respects_bound(self, sketch_setup):
+        net, graph, sketch = sketch_setup
+        ipp = OnlinePathPacking(sketch, pmax=4 * net.n)
+        sink = sketch.register_sink("d", (14,), 0, graph.horizon)
+        src = sketch.source_node(Request.line(1, 14, 0))
+        for _ in range(200):
+            ipp.route(src, sink)
+        assert ipp.max_load_ratio() <= ipp.load_bound() + 1e-9
+
+    def test_primal_at_most_twice_dual(self, sketch_setup):
+        net, graph, sketch = sketch_setup
+        ipp = OnlinePathPacking(sketch, pmax=4 * net.n)
+        sink = sketch.register_sink("d", (10,), 0, graph.horizon)
+        for a in (0, 2, 4):
+            src = sketch.source_node(Request.line(a, 10, a))
+            for _ in range(20):
+                ipp.route(src, sink)
+        assert ipp.stats.primal_cost <= 2 * ipp.stats.dual_value + 1e-9
+
+    def test_sink_edges_stay_free(self, sketch_setup):
+        net, graph, sketch = sketch_setup
+        ipp = OnlinePathPacking(sketch, pmax=4 * net.n)
+        sink = sketch.register_sink("d", (14,), 0, graph.horizon)
+        src = sketch.source_node(Request.line(1, 14, 0))
+        for _ in range(30):
+            ipp.route(src, sink)
+        for edge in ipp.x:
+            if edge[0] == "k":
+                assert ipp.x[edge] == 0.0
+
+    def test_z_values_recorded(self, sketch_setup):
+        net, graph, sketch = sketch_setup
+        ipp = OnlinePathPacking(sketch, pmax=4 * net.n)
+        sink = sketch.register_sink("d", (14,), 0, graph.horizon)
+        src = sketch.source_node(Request.line(1, 14, 0))
+        ipp.route(src, sink)
+        assert len(ipp.stats.z) == 1 and 0 <= ipp.stats.z[0] <= 1
+
+
+class TestCompetitiveness:
+    def test_half_of_fractional_opt_single_commodity(self):
+        """Theorem 1: throughput >= opt_f / 2.  Single bottleneck edge."""
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=12)
+        sketch = PlainSketchGraph(graph, Tiling((2, 2)))
+        ipp = OnlinePathPacking(sketch, pmax=24)
+        requests = [Request.line(0, 5, t, rid=t) for t in range(8)]
+        accepted = 0
+        sink = sketch.register_sink("d5", (5,), 0, graph.horizon)
+        for r in requests:
+            if ipp.route(sketch.source_node(r), sink) is not None:
+                accepted += 1
+        optf = fractional_opt(net, requests, 12)
+        assert accepted >= optf / 2 - 1e-9

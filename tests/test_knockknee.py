@@ -1,0 +1,150 @@
+"""Tests for the knock-knee tile automaton (Section 5.2.3, Figure 6)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deterministic.knockknee import (
+    EAST,
+    NORTH,
+    SOUTH,
+    WEST,
+    KnockKneeTile,
+    TilePath,
+    always_succeeds,
+)
+from repro.util.errors import ValidationError
+
+
+def mk(name, side, lane, exit_side):
+    return TilePath(name=name, entry=(side, lane), exit_side=exit_side)
+
+
+class TestSinglePaths:
+    def test_straight_east(self):
+        tile = KnockKneeTile(4)
+        (p,) = tile.route([mk("a", WEST, 1, EAST)])
+        assert not p.failed and p.out == (EAST, 1)
+        assert p.cells == [(1, 0), (1, 1), (1, 2), (1, 3)]
+
+    def test_straight_north(self):
+        tile = KnockKneeTile(4)
+        (p,) = tile.route([mk("a", SOUTH, 2, NORTH)])
+        assert not p.failed and p.out == (NORTH, 2)
+
+    def test_lone_path_bends_immediately(self):
+        # rule 1: with a free crossing edge the path turns toward its exit
+        tile = KnockKneeTile(4)
+        (p,) = tile.route([mk("a", WEST, 1, NORTH)])
+        assert not p.failed and p.out == (NORTH, 0)
+        assert p.cells[0] == (1, 0) and p.cells[-1] == (3, 0)
+
+    def test_interior_start(self):
+        tile = KnockKneeTile(4)
+        (p,) = tile.route([TilePath("a", ("I", (1, 1)), NORTH)])
+        assert not p.failed and p.out == (NORTH, 1)
+
+
+class TestPrecedenceAndKnockKnee:
+    def test_straight_has_precedence(self):
+        # a bender meets a straight climber: rule 2 forces the bender on
+        tile = KnockKneeTile(4)
+        bender = mk("b", WEST, 1, NORTH)
+        straight = mk("s", SOUTH, 0, NORTH)
+        routed = tile.route([bender, straight])
+        b, s = routed
+        assert not s.failed and s.out == (NORTH, 0)
+        assert not b.failed and b.out == (NORTH, 1)  # bent at the next column
+
+    def test_knock_knee_swap(self):
+        # both want to bend: they swap directions at the meeting node
+        tile = KnockKneeTile(4)
+        h = mk("h", WEST, 0, NORTH)
+        v = mk("v", SOUTH, 0, EAST)
+        routed = tile.route([h, v])
+        assert not routed[0].failed and routed[0].out == (NORTH, 0)
+        assert not routed[1].failed and routed[1].out == (EAST, 0)
+        # exactly two bends happened (one per partner, Figure 6)
+        assert tile.count_bends(routed) == 0  # both bent at their first node
+
+    def test_bender_skips_occupied_columns(self):
+        # straight climbers on columns 0..2 force the west bender to keep
+        # travelling east (rule 2) until the free column 3
+        tile = KnockKneeTile(4)
+        h = mk("h", WEST, 2, NORTH)
+        blockers = [mk(f"s{c}", SOUTH, c, NORTH) for c in range(3)]
+        routed = tile.route([h] + blockers)
+        by_name = {p.name: p for p in routed}
+        assert not by_name["h"].failed and by_name["h"].out == (NORTH, 3)
+        for c in range(3):
+            assert by_name[f"s{c}"].out == (NORTH, c)
+
+    def test_lone_south_path_turns_at_entry(self):
+        # rule 1: a south path wanting east turns at its first free node
+        tile = KnockKneeTile(4)
+        (v,) = tile.route([mk("v", SOUTH, 3, EAST)])
+        assert not v.failed and v.out == (EAST, 0)
+
+    def test_full_side_load_succeeds(self):
+        # k straights + k benders: the Section 5.2.3 counting argument
+        k = 6
+        tile = KnockKneeTile(k)
+        paths = [mk(f"s{c}", SOUTH, c, NORTH) for c in range(k)]
+        paths += [mk(f"b{r}", WEST, r, NORTH) for r in range(k)]
+        routed = tile.route(paths)
+        # straights always make it; benders may fail only if out of columns
+        fails = [p for p in routed if p.failed]
+        assert all(p.name.startswith("b") for p in fails)
+
+    def test_duplicate_entry_rejected(self):
+        tile = KnockKneeTile(4)
+        with pytest.raises(ValidationError):
+            tile.route([mk("a", WEST, 1, EAST), mk("b", WEST, 1, NORTH)])
+
+    def test_bad_lane_rejected(self):
+        with pytest.raises(ValidationError):
+            KnockKneeTile(4).route([mk("a", WEST, 7, EAST)])
+
+
+class TestPaperClaim:
+    """Section 5.2.3: detailed routing always succeeds in internal
+    segments when per-side loads respect the IPP guarantee."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(st.data())
+    def test_feasible_demands_route(self, data):
+        k = data.draw(st.integers(2, 8))
+        # choose disjoint lanes; demand mix: every path that must exit
+        # east enters west, every path exiting north enters west or south.
+        west_rows = data.draw(st.lists(st.integers(0, k - 1), unique=True, max_size=k))
+        south_cols = data.draw(st.lists(st.integers(0, k - 1), unique=True, max_size=k))
+        paths = []
+        north_exits = 0
+        for r in west_rows:
+            wants = data.draw(st.sampled_from([EAST, NORTH]))
+            north_exits += wants == NORTH
+            paths.append(mk(f"w{r}", WEST, r, wants))
+        for c in south_cols:
+            paths.append(mk(f"s{c}", SOUTH, c, NORTH))
+            north_exits += 1
+        # the paper's load guarantee: at most k paths exit each side
+        if north_exits > k:
+            return
+        assert always_succeeds(k, paths)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(2, 8), st.integers(0, 10_000))
+    def test_cells_are_connected_monotone(self, k, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        rows = list(rng.permutation(k)[: max(1, k // 2)])
+        paths = [
+            mk(f"w{r}", WEST, int(r), EAST if rng.random() < 0.5 else NORTH)
+            for r in rows
+        ]
+        routed = KnockKneeTile(k).route(paths)
+        for p in routed:
+            for a, b in zip(p.cells, p.cells[1:]):
+                dr, dc = b[0] - a[0], b[1] - a[1]
+                assert (dr, dc) in ((0, 1), (1, 0))

@@ -1,0 +1,105 @@
+"""Tests for the d-dimensional knock-knee rules (Section 6, rules a-d)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deterministic.knockknee_ddim import (
+    DPath,
+    KnockKneeCube,
+    feasible_random_demand,
+)
+from repro.util.errors import ValidationError
+
+
+class TestBasics:
+    def test_straight_path_any_axis(self):
+        cube = KnockKneeCube(3, 4)
+        for axis in range(3):
+            pos = [1, 1, 1]
+            pos[axis] = 0
+            (p,) = cube.route([DPath("a", axis, tuple(pos), axis)])
+            assert not p.failed
+            assert p.out_pos[axis] == 4
+
+    def test_lone_bender_turns(self):
+        cube = KnockKneeCube(3, 4)
+        (p,) = cube.route([DPath("a", 0, (0, 2, 1), 2)])
+        assert not p.failed
+        assert p.out_pos[2] == 4
+
+    def test_reduces_to_2d_automaton(self):
+        # the 2-axis cube must agree with the dedicated d = 1 automaton
+        from repro.core.deterministic.knockknee import (
+            EAST, NORTH, SOUTH, WEST, KnockKneeTile, TilePath,
+        )
+
+        k = 5
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            rows = rng.permutation(k)[: rng.integers(1, k + 1)]
+            flat = [
+                (int(r), NORTH if rng.random() < 0.5 else EAST) for r in rows
+            ]
+            p2d = [TilePath(f"w{r}", (WEST, r), want) for r, want in flat]
+            # axes: 0 = north (rows), 1 = east (cols); west entry = axis 1
+            pdd = [
+                DPath(f"w{r}", 1, (r, 0), 0 if want == NORTH else 1)
+                for r, want in flat
+            ]
+            routed2 = KnockKneeTile(k).route(p2d)
+            routedd = KnockKneeCube(2, k).route(pdd)
+            assert [p.failed for p in routed2] == [p.failed for p in routedd]
+
+    def test_duplicate_entry_rejected(self):
+        cube = KnockKneeCube(3, 4)
+        with pytest.raises(ValidationError):
+            cube.route([
+                DPath("a", 0, (0, 1, 1), 0),
+                DPath("b", 0, (0, 1, 1), 1),
+            ])
+
+    def test_entry_must_be_on_face(self):
+        with pytest.raises(ValidationError):
+            KnockKneeCube(3, 4).route([DPath("a", 0, (2, 1, 1), 0)])
+
+
+class TestKnockKnees:
+    def test_swap_in_3d(self):
+        cube = KnockKneeCube(3, 4)
+        a = DPath("a", 0, (0, 1, 1), 1)  # enters axis 0, wants axis 1
+        b = DPath("b", 1, (1, 0, 1), 0)  # enters axis 1, wants axis 0
+        # arrange a meeting: both reach node (1, 1, 1)
+        routed = cube.route([a, b])
+        assert not routed[0].failed and not routed[1].failed
+        assert routed[0].out_pos[1] == 4
+        assert routed[1].out_pos[0] == 4
+
+    def test_monotone_cells(self):
+        cube = KnockKneeCube(3, 5)
+        rng = np.random.default_rng(1)
+        paths = feasible_random_demand(3, 5, rng, max_paths=8)
+        for p in cube.route(paths):
+            for u, v in zip(p.cells, p.cells[1:]):
+                diff = [b - a for a, b in zip(u, v)]
+                assert sum(diff) == 1 and all(x in (0, 1) for x in diff)
+
+
+class TestSection6Claim:
+    """Random feasible demands route without failure (the Theorem 10
+    detailed-routing step)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 100_000), st.integers(2, 4), st.integers(2, 6))
+    def test_feasible_demands_route(self, seed, naxes, side):
+        rng = np.random.default_rng(seed)
+        paths = feasible_random_demand(naxes, side, rng)
+        routed = KnockKneeCube(naxes, side).route(paths)
+        # straights never fail; benders may fail only when the demand
+        # saturates their exit face -- which feasible_random_demand avoids
+        # up to the per-face cap, so failures must stay rare
+        fails = sum(p.failed for p in routed)
+        straights = [p for p in routed if p.exit_axis == p.entry_axis]
+        assert all(not p.failed for p in straights)
+        assert fails <= max(1, len(routed) // 2)

@@ -1,0 +1,98 @@
+"""Tests for the load-profiling analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.loads import profile_plan, time_profile
+from repro.core.base import Plan, RouteOutcome
+from repro.core.deterministic import DeterministicRouter
+from repro.network.topology import LineNetwork
+from repro.spacetime.graph import STPath
+from repro.util.errors import CapacityError
+from repro.workloads.uniform import uniform_requests
+
+
+def plan_of(paths):
+    plan = Plan()
+    for p in paths:
+        plan.record(p.rid, RouteOutcome.DELIVERED, p)
+    return plan
+
+
+class TestProfile:
+    def test_single_path(self):
+        net = LineNetwork(6, buffer_size=2, capacity=2)
+        plan = plan_of([STPath((0, 0), (0, 1, 0), rid=0)])
+        prof = profile_plan(net, plan, 10)
+        assert prof.link_peak == 1 and prof.buffer_peak == 1
+        assert prof.hops_total == 2 and prof.stores_total == 1
+
+    def test_shared_link(self):
+        net = LineNetwork(4, buffer_size=2, capacity=2)
+        plan = plan_of([
+            STPath((0, 0), (0, 0), rid=0),
+            STPath((0, 0), (1, 0, 0), rid=1),
+        ])
+        prof = profile_plan(net, plan, 10)
+        assert prof.link_peak == 1  # shifted in time, never co-resident
+
+    def test_peak_two_on_capacity_two(self):
+        net = LineNetwork(4, buffer_size=2, capacity=2)
+        plan = plan_of([
+            STPath((0, 0), (0, 0), rid=0),
+            STPath((0, 0), (0, 0), rid=1),
+        ])
+        prof = profile_plan(net, plan, 10)
+        assert prof.link_peak == 2
+        assert prof.busiest_link_time[1] in (0, 1)
+
+    def test_overload_raises(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        plan = plan_of([
+            STPath((0, 0), (0, 0), rid=0),
+            STPath((0, 0), (0, 0), rid=1),
+        ])
+        with pytest.raises(CapacityError):
+            profile_plan(net, plan, 10)
+
+    def test_real_plan_profile(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        reqs = uniform_requests(net, 60, 32, rng=0)
+        plan = DeterministicRouter(net, 128).route(reqs)
+        prof = profile_plan(net, plan, 128)
+        assert prof.link_peak <= 3 and prof.buffer_peak <= 3
+        assert 0 < prof.link_utilization <= 1
+        assert prof.hops_total > 0
+        assert "links" in prof.summary()
+
+    def test_empty_plan(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        prof = profile_plan(net, Plan(), 10)
+        assert prof.link_peak == 0 and prof.hops_total == 0
+
+
+class TestTimeProfile:
+    def test_shape_and_mass(self):
+        net = LineNetwork(6, buffer_size=2, capacity=2)
+        plan = plan_of([STPath((0, 0), (0, 1, 0), rid=0)])
+        occ = time_profile(net, plan, 10)
+        assert occ.shape == (11,)
+        assert occ.sum() == 3  # one edge per move
+        assert list(occ[:3]) == [1, 1, 1]
+
+    def test_respects_horizon_clip(self):
+        net = LineNetwork(6, buffer_size=2, capacity=2)
+        plan = plan_of([STPath((0, 8), (1, 1, 1), rid=0)])
+        occ = time_profile(net, plan, 9)
+        assert occ.sum() == 2  # moves at t = 8, 9 counted; t = 10 clipped
+
+    def test_deterministic_plan_occupancy_bounded(self):
+        net = LineNetwork(32, buffer_size=3, capacity=3)
+        reqs = uniform_requests(net, 40, 16, rng=1)
+        plan = DeterministicRouter(net, 96).route(reqs)
+        occ = time_profile(net, plan, 96)
+        # occupancy can never exceed network capacity: n-1 links * c + n * B
+        assert occ.max() <= (net.n - 1) * 3 + net.n * 3
+        assert int(occ.sum()) == sum(
+            len(p.moves) for p in plan.all_executable_paths().values()
+        )

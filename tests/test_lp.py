@@ -1,0 +1,103 @@
+"""Tests for the fractional multicommodity LP (opt_f, Lemma 2)."""
+
+import pytest
+
+from repro.network.packet import Request
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.packing.exact import exact_opt_small
+from repro.packing.lp import fractional_opt
+from repro.packing.maxflow import throughput_upper_bound
+from repro.util.errors import ValidationError
+from repro.workloads.uniform import uniform_requests
+
+
+class TestBasics:
+    def test_single_request(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        assert fractional_opt(net, [Request.line(0, 4, 0)], 10) == pytest.approx(1.0)
+
+    def test_empty(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        assert fractional_opt(net, [], 10) == 0.0
+
+    def test_unreachable_within_horizon(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        assert fractional_opt(net, [Request.line(0, 4, 0)], 2) == pytest.approx(0.0)
+
+    def test_contention_fractional_value(self):
+        net = LineNetwork(3, buffer_size=0, capacity=1)
+        reqs = [Request.line(0, 2, 0, rid=0), Request.line(0, 2, 0, rid=1)]
+        # bufferless: both need the same diagonal; only one can be served
+        assert fractional_opt(net, reqs, 4) == pytest.approx(1.0)
+
+    def test_details_served_fractions(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 3, 0, rid=0), Request.line(0, 3, 0, rid=1)]
+        value, served = fractional_opt(net, reqs, 10, return_details=True)
+        assert value == pytest.approx(served.sum())
+        assert all(0 - 1e-9 <= s <= 1 + 1e-9 for s in served)
+
+    def test_grid(self):
+        net = GridNetwork((3, 3), buffer_size=1, capacity=1)
+        reqs = [Request((0, 0), (2, 2), 0)]
+        assert fractional_opt(net, reqs, 8) == pytest.approx(1.0)
+
+    def test_variable_guard(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 500, 64, rng=0)
+        with pytest.raises(ValidationError):
+            fractional_opt(net, reqs, 4000)
+
+
+class TestRelationsBetweenBounds:
+    def test_lp_at_least_exact(self):
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 5, 4, rng=7)
+        lp = fractional_opt(net, reqs, 9)
+        exact, _ = exact_opt_small(net, reqs, 9)
+        assert lp >= exact - 1e-9
+
+    def test_lp_vs_maxflow_both_upper_bound(self):
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 6, 5, rng=3)
+        lp = fractional_opt(net, reqs, 10)
+        mf = throughput_upper_bound(net, reqs, 10)
+        exact, _ = exact_opt_small(net, reqs, 10)
+        assert lp >= exact - 1e-9 and mf >= exact
+
+    def test_integral_when_no_contention(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        reqs = [Request.line(i, i + 1, 0, rid=i) for i in range(0, 8, 2)]
+        assert fractional_opt(net, reqs, 4) == pytest.approx(len(reqs))
+
+
+class TestPathLengthBound:
+    """Lemma 2: opt_f(R | p_max) degrades gracefully as p_max shrinks."""
+
+    def test_monotone_in_pmax(self):
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 5, t, rid=t) for t in range(4)]
+        values = [fractional_opt(net, reqs, 20, pmax=p) for p in (5, 8, 12, 20)]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_pmax_below_distance_kills_request(self):
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 5, 0)]
+        assert fractional_opt(net, reqs, 20, pmax=4) == pytest.approx(0.0)
+
+    def test_paper_pmax_loses_nothing_small_instance(self):
+        # with the paper's p_max (huge), the bound is inactive
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 6, 5, rng=5)
+        free = fractional_opt(net, reqs, 12)
+        capped = fractional_opt(net, reqs, 12, pmax=net.pmax())
+        assert capped == pytest.approx(free)
+
+    def test_lemma2_constant_fraction(self):
+        # the Lemma 2 guarantee: at p_max = (nu+2) diam, at least
+        # (1 - 1/e)/2 of the unbounded optimum survives
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 8, 6, rng=11)
+        free = fractional_opt(net, reqs, 14)
+        capped = fractional_opt(net, reqs, 14, pmax=net.pmax())
+        assert capped >= 0.5 * (1 - 1 / 2.718281828) * free - 1e-9

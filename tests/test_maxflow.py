@@ -1,0 +1,118 @@
+"""Tests for the Dinic solver and the throughput upper bound."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.packet import Request
+from repro.network.topology import LineNetwork
+from repro.packing.exact import exact_opt_small
+from repro.packing.maxflow import Dinic, throughput_upper_bound
+from repro.util.errors import ValidationError
+from repro.util.rng import as_generator
+from repro.workloads.uniform import uniform_requests
+
+
+class TestDinic:
+    def test_simple_path(self):
+        d = Dinic(3)
+        d.add_edge(0, 1, 5)
+        d.add_edge(1, 2, 3)
+        assert d.max_flow(0, 2) == 3
+
+    def test_parallel_paths(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 2)
+        d.add_edge(0, 2, 2)
+        d.add_edge(1, 3, 2)
+        d.add_edge(2, 3, 2)
+        assert d.max_flow(0, 3) == 4
+
+    def test_bottleneck(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 10)
+        d.add_edge(1, 2, 1)
+        d.add_edge(2, 3, 10)
+        assert d.max_flow(0, 3) == 1
+
+    def test_disconnected(self):
+        d = Dinic(4)
+        d.add_edge(0, 1, 5)
+        d.add_edge(2, 3, 5)
+        assert d.max_flow(0, 3) == 0
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValidationError):
+            Dinic(2).add_edge(0, 1, -1)
+
+    def test_rejects_s_equals_t(self):
+        with pytest.raises(ValidationError):
+            Dinic(2).max_flow(0, 0)
+
+    def test_long_path_no_recursion_blowup(self):
+        n = 5000
+        d = Dinic(n)
+        for i in range(n - 1):
+            d.add_edge(i, i + 1, 1)
+        assert d.max_flow(0, n - 1) == 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_networkx_on_random_dags(self, seed):
+        rng = as_generator(seed)
+        n = int(rng.integers(4, 10))
+        g = nx.DiGraph()
+        d = Dinic(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < 0.5:
+                    cap = int(rng.integers(1, 6))
+                    g.add_edge(u, v, capacity=cap)
+                    d.add_edge(u, v, cap)
+        expected = nx.maximum_flow_value(g, 0, n - 1) if g.has_node(0) and g.has_node(n - 1) and nx.has_path(g, 0, n - 1) else 0
+        assert d.max_flow(0, n - 1) == expected
+
+
+class TestThroughputUpperBound:
+    def test_single_request(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 4, 0)]
+        assert throughput_upper_bound(net, reqs, 10) == 1
+
+    def test_contention_on_unit_link(self):
+        net = LineNetwork(3, buffer_size=0, capacity=1)
+        # two packets must cross edge (0, 1) at the same step: only one fits
+        reqs = [Request.line(0, 2, 0, rid=0), Request.line(0, 2, 0, rid=1)]
+        assert throughput_upper_bound(net, reqs, 2) == 1
+
+    def test_buffering_allows_second(self):
+        net = LineNetwork(3, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 2, 0, rid=0), Request.line(0, 2, 0, rid=1)]
+        assert throughput_upper_bound(net, reqs, 10) == 2
+
+    def test_deadline_restricts(self):
+        net = LineNetwork(3, buffer_size=1, capacity=1)
+        reqs = [
+            Request.line(0, 2, 0, deadline=2, rid=0),
+            Request.line(0, 2, 0, deadline=2, rid=1),
+        ]
+        assert throughput_upper_bound(net, reqs, 10) == 1
+
+    def test_requests_after_horizon_ignored(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 3, 100)]
+        assert throughput_upper_bound(net, reqs, 10) == 0
+
+    def test_empty(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        assert throughput_upper_bound(net, [], 10) == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_upper_bounds_exact(self, seed):
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 5, 4, rng=seed)
+        bound = throughput_upper_bound(net, reqs, 9)
+        exact, _ = exact_opt_small(net, reqs, 9)
+        assert bound >= exact

@@ -1,0 +1,83 @@
+"""Tests for the Appendix F node models (experiment E14)."""
+
+from repro.baselines.greedy import run_greedy
+from repro.network.node_models import (
+    Model2LineSimulator,
+    ntg_priority,
+    separation_instance,
+)
+from repro.network.packet import DeliveryStatus, Request
+from repro.network.topology import LineNetwork
+from repro.util.errors import ValidationError
+
+import pytest
+
+
+class TestSeparation:
+    """Appendix F remark 1: Model 1 strictly stronger at B = c = 1."""
+
+    def test_model1_keeps_both(self):
+        net, reqs = separation_instance()
+        res = run_greedy(net, reqs, 10)
+        assert res.throughput == 2
+
+    def test_model2_drops_one(self):
+        net, reqs = separation_instance()
+        res = Model2LineSimulator(net).run(reqs, 10)
+        assert res.stats.delivered == 1
+
+
+class TestModel2Engine:
+    def test_single_packet(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        res = Model2LineSimulator(net).run([Request.line(0, 3, 0, rid=0)], 12)
+        assert res.status[0] == DeliveryStatus.DELIVERED
+
+    def test_throughput_at_most_b_per_node_step(self):
+        # a node moves at most B packets per step in Model 2
+        net = LineNetwork(3, buffer_size=2, capacity=1)
+        reqs = [Request.line(0, 2, 0, rid=i) for i in range(4)]
+        res = Model2LineSimulator(net).run(reqs, 20)
+        assert res.stats.delivered <= 2 + 1  # B kept + later drain
+
+    def test_requires_unit_capacity(self):
+        with pytest.raises(ValidationError):
+            Model2LineSimulator(LineNetwork(4, buffer_size=1, capacity=2))
+
+    def test_deadline_late_not_credited(self):
+        net = LineNetwork(5, buffer_size=1, capacity=1)
+        # Model 2 cannot cut through: each hop costs a buffered step, so a
+        # distance-4 deadline-4 packet plus a blocker cannot both make it
+        reqs = [
+            Request.line(0, 4, 0, deadline=8, rid=0),
+            Request.line(0, 4, 0, deadline=8, rid=1),
+        ]
+        res = Model2LineSimulator(net).run(reqs, 30)
+        assert res.stats.delivered + res.stats.late + res.stats.preempted + res.stats.rejected == 2
+
+    def test_trivial_request(self):
+        net = LineNetwork(3, buffer_size=1, capacity=1)
+        res = Model2LineSimulator(net).run([Request.line(1, 1, 0, rid=0)], 5)
+        assert res.status[0] == DeliveryStatus.DELIVERED
+
+    def test_ntg_priority_key(self):
+        from repro.network.packet import Packet
+
+        near = Packet(request=Request.line(0, 1, 0, rid=0), location=(0,), injected_at=0)
+        far = Packet(request=Request.line(0, 5, 0, rid=1), location=(0,), injected_at=0)
+        assert ntg_priority(near) < ntg_priority(far)
+
+    def test_model2_never_exceeds_buffer(self):
+        net = LineNetwork(4, buffer_size=2, capacity=1)
+        reqs = [Request.line(0, 3, t, rid=t) for t in range(6)]
+        res = Model2LineSimulator(net).run(reqs, 30)
+        assert res.stats.max_buffer_load <= 2
+
+    def test_statuses_all_resolved(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 3, t, rid=t) for t in range(5)]
+        res = Model2LineSimulator(net).run(reqs, 30)
+        assert all(
+            st != DeliveryStatus.PENDING and st != DeliveryStatus.INJECTED
+            for st in res.status.values()
+        )

@@ -1,0 +1,104 @@
+"""Tests for the lightest-path oracles."""
+
+import pytest
+
+from repro.packing.oracle import hop_bounded_lightest_path, lightest_path
+
+
+class DictGraph:
+    """Tiny digraph for oracle tests: {u: [(edge, v, cap)]}"""
+
+    def __init__(self, adj, sinks=()):
+        self.adj = adj
+        self.sinks = set(sinks)
+
+    def out_edges(self, u):
+        for edge, v, _cap in self.adj.get(u, []):
+            yield edge, v
+
+    def capacity(self, edge):
+        for edges in self.adj.values():
+            for e, _v, cap in edges:
+                if e == edge:
+                    return cap
+        raise KeyError(edge)
+
+    def is_sink(self, node):
+        return node in self.sinks
+
+
+@pytest.fixture
+def diamond():
+    #  a -> b -> d  (cheap, 2 hops)
+    #  a ------> d  (expensive, 1 hop)
+    return DictGraph({
+        "a": [("ab", "b", 1), ("ad", "d", 1)],
+        "b": [("bd", "d", 1)],
+    })
+
+
+class TestLightestPath:
+    def test_prefers_lighter(self, diamond):
+        w = {"ab": 0.1, "bd": 0.1, "ad": 1.5}.__getitem__
+        p = lightest_path(diamond, "a", "d", w)
+        assert p.edges == ("ab", "bd")
+        assert p.weight == pytest.approx(0.2)
+
+    def test_tie_break_fewest_hops(self, diamond):
+        w = lambda e: 0.0
+        p = lightest_path(diamond, "a", "d", w)
+        assert p.edges == ("ad",)
+
+    def test_unreachable(self, diamond):
+        assert lightest_path(diamond, "d", "a", lambda e: 0.0) is None
+
+    def test_max_hops_rejects(self, diamond):
+        w = {"ab": 0.1, "bd": 0.1, "ad": 1.5}.__getitem__
+        assert lightest_path(diamond, "a", "d", w, max_hops=1) is None
+
+    def test_source_is_target(self, diamond):
+        p = lightest_path(diamond, "a", "a", lambda e: 0.0)
+        assert p.edges == () and p.weight == 0.0
+
+    def test_skips_foreign_sinks(self):
+        g = DictGraph(
+            {"a": [("as1", "s1", 1), ("ab", "b", 1)], "b": [("bs2", "s2", 1)]},
+            sinks={"s1", "s2"},
+        )
+        p = lightest_path(g, "a", "s2", lambda e: 0.0)
+        assert p.nodes == ("a", "b", "s2")
+
+    def test_nodes_sequence(self, diamond):
+        w = {"ab": 0.1, "bd": 0.1, "ad": 1.5}.__getitem__
+        p = lightest_path(diamond, "a", "d", w)
+        assert p.nodes == ("a", "b", "d")
+
+
+class TestHopBounded:
+    def test_exact_hop_bound_finds_detour(self):
+        # lightest path has 3 hops; with max_hops=1 only the heavy edge fits
+        g = DictGraph({
+            "a": [("a1", "m1", 1), ("ad", "d", 1)],
+            "m1": [("m2", "m2", 1)],
+            "m2": [("m3", "d", 1)],
+        })
+        w = {"a1": 0.0, "m2": 0.0, "m3": 0.0, "ad": 0.9}.__getitem__
+        p = hop_bounded_lightest_path(g, "a", "d", w, max_hops=1)
+        assert p.edges == ("ad",)
+        p3 = hop_bounded_lightest_path(g, "a", "d", w, max_hops=3)
+        assert p3.edges == ("a1", "m2", "m3")
+
+    def test_unreachable_within_hops(self):
+        g = DictGraph({"a": [("ab", "b", 1)], "b": [("bc", "c", 1)]})
+        assert hop_bounded_lightest_path(g, "a", "c", lambda e: 0.0, 1) is None
+
+    def test_agrees_with_dijkstra_when_unconstrained(self):
+        g = DictGraph({
+            "a": [("ab", "b", 1), ("ac", "c", 1)],
+            "b": [("bd", "d", 1)],
+            "c": [("cd", "d", 1)],
+        })
+        w = {"ab": 0.2, "bd": 0.2, "ac": 0.3, "cd": 0.3}.__getitem__
+        p1 = lightest_path(g, "a", "d", w)
+        p2 = hop_bounded_lightest_path(g, "a", "d", w, max_hops=10)
+        assert p1.weight == pytest.approx(p2.weight)

@@ -1,0 +1,117 @@
+"""Tests for repro.network.packet: requests, packets, statuses."""
+
+import pytest
+
+from repro.network.packet import DeliveryStatus, Packet, Request
+from repro.util.errors import ValidationError
+
+
+class TestRequestConstruction:
+    def test_line_constructor(self):
+        r = Request.line(2, 5, 3)
+        assert r.source == (2,) and r.dest == (5,)
+        assert r.arrival == 3 and r.deadline is None
+
+    def test_tuple_nodes(self):
+        r = Request((1, 2), (3, 4), 0)
+        assert r.source == (1, 2) and r.dest == (3, 4)
+
+    def test_int_nodes_normalised(self):
+        r = Request(1, 4, 0)
+        assert r.source == (1,) and r.dest == (4,)
+
+    def test_distance_line(self):
+        assert Request.line(2, 7, 0).distance == 5
+
+    def test_distance_grid(self):
+        assert Request((0, 1), (3, 4), 0).distance == 6
+
+    def test_dim(self):
+        assert Request.line(0, 1, 0).dim == 1
+        assert Request((0, 0, 0), (1, 1, 1), 0).dim == 3
+
+    def test_trivial(self):
+        assert Request.line(3, 3, 0).is_trivial()
+        assert not Request.line(3, 4, 0).is_trivial()
+
+    def test_rids_unique_when_auto(self):
+        a, b = Request.line(0, 1, 0), Request.line(0, 1, 0)
+        assert a.rid != b.rid
+
+    def test_explicit_rid(self):
+        assert Request.line(0, 1, 0, rid=99).rid == 99
+
+    def test_deadline_stored(self):
+        assert Request.line(0, 2, 1, deadline=5).deadline == 5
+
+
+class TestRequestValidation:
+    def test_rejects_backward_line(self):
+        with pytest.raises(ValidationError):
+            Request.line(5, 2, 0)
+
+    def test_rejects_backward_grid_component(self):
+        with pytest.raises(ValidationError):
+            Request((0, 5), (3, 2), 0)
+
+    def test_rejects_dim_mismatch(self):
+        with pytest.raises(ValidationError):
+            Request((0,), (1, 1), 0)
+
+    def test_rejects_negative_arrival(self):
+        with pytest.raises(ValidationError):
+            Request.line(0, 1, -1)
+
+    def test_rejects_infeasible_deadline(self):
+        # deadline before arrival + distance can never be met (Section 5.4)
+        with pytest.raises(ValidationError):
+            Request.line(0, 5, 2, deadline=4)
+
+    def test_accepts_tight_feasible_deadline(self):
+        r = Request.line(0, 5, 2, deadline=7)
+        assert r.deadline == 7
+
+    def test_rejects_garbage_node(self):
+        with pytest.raises(ValidationError):
+            Request("node-a", "node-b", 0)
+
+    def test_rejects_empty_tuple(self):
+        with pytest.raises(ValidationError):
+            Request((), (), 0)
+
+
+class TestRequestOrdering:
+    def test_sorted_by_arrival_then_rid(self):
+        a = Request.line(0, 1, 5, rid=2)
+        b = Request.line(0, 1, 3, rid=9)
+        c = Request.line(0, 1, 5, rid=1)
+        assert sorted([a, b, c]) == [b, c, a]
+
+    def test_repr_contains_endpoints(self):
+        r = Request.line(1, 4, 2, rid=7)
+        text = repr(r)
+        assert "7" in text and "(1,)" in text and "(4,)" in text
+
+
+class TestPacket:
+    def test_remaining_distance(self):
+        r = Request((0, 0), (3, 2), 0)
+        pkt = Packet(request=r, location=(1, 0), injected_at=0)
+        assert pkt.remaining_distance() == 4
+
+    def test_status_default(self):
+        pkt = Packet(request=Request.line(0, 1, 0), location=(0,), injected_at=0)
+        assert pkt.status == DeliveryStatus.INJECTED
+
+    def test_rid_and_dest_proxies(self):
+        r = Request.line(0, 3, 0, rid=42)
+        pkt = Packet(request=r, location=(0,), injected_at=0)
+        assert pkt.rid == 42 and pkt.dest == (3,)
+
+
+class TestDeliveryStatus:
+    def test_all_states_present(self):
+        names = {s.name for s in DeliveryStatus}
+        assert names == {
+            "PENDING", "REJECTED", "INJECTED", "PREEMPTED", "DELIVERED", "LATE",
+        }

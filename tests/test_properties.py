@@ -1,0 +1,104 @@
+"""Property-based invariants across the whole pipeline (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import RouteOutcome
+from repro.core.deterministic import DeterministicRouter
+from repro.core.deterministic.variants import BufferlessLineRouter
+from repro.core.randomized import RandomizedLineRouter
+from repro.network.simulator import execute_plan
+from repro.network.topology import LineNetwork
+from repro.packing.maxflow import throughput_upper_bound
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.workloads.uniform import uniform_requests
+
+seeds = st.integers(0, 10_000)
+
+
+class TestDeterministicInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, st.integers(5, 40))
+    def test_plan_always_replays_and_below_bound(self, seed, num):
+        net = LineNetwork(24, buffer_size=3, capacity=3)
+        reqs = uniform_requests(net, num, 24, rng=seed)
+        plan = DeterministicRouter(net, 96).route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 96)
+        assert plan.consistent_with_simulation(result)
+        assert plan.throughput <= throughput_upper_bound(net, reqs, 96)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds)
+    def test_delivered_paths_end_at_destinations(self, seed):
+        net = LineNetwork(24, buffer_size=3, capacity=3)
+        reqs = uniform_requests(net, 20, 24, rng=seed)
+        plan = DeterministicRouter(net, 96).route(reqs)
+        by_rid = {r.rid: r for r in reqs}
+        for rid, path in plan.paths.items():
+            assert path.end(1)[0] == by_rid[rid].dest[0]
+            assert path.start == (
+                by_rid[rid].source[0],
+                by_rid[rid].arrival - by_rid[rid].source[0],
+            )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_paths_are_valid_in_spacetime(self, seed):
+        net = LineNetwork(24, buffer_size=3, capacity=3)
+        graph = SpaceTimeGraph(net, 96)
+        reqs = uniform_requests(net, 25, 24, rng=seed)
+        plan = DeterministicRouter(net, 96).route(reqs)
+        for path in plan.all_executable_paths().values():
+            graph.check_path(path)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_every_request_has_exactly_one_outcome(self, seed):
+        net = LineNetwork(24, buffer_size=3, capacity=3)
+        reqs = uniform_requests(net, 30, 24, rng=seed)
+        plan = DeterministicRouter(net, 96).route(reqs)
+        assert set(plan.outcome) == {r.rid for r in reqs}
+        for rid, oc in plan.outcome.items():
+            assert (rid in plan.paths) == (oc == RouteOutcome.DELIVERED)
+
+
+class TestRandomizedInvariants:
+    @settings(max_examples=15, deadline=None)
+    @given(seeds, seeds)
+    def test_plan_replays_any_seed(self, wseed, rseed):
+        net = LineNetwork(32, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 30, 32, rng=wseed)
+        router = RandomizedLineRouter(net, 128, rng=rseed, lam=0.5)
+        plan = router.route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 128)
+        assert plan.consistent_with_simulation(result)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seeds)
+    def test_nonpreemptive_always(self, seed):
+        net = LineNetwork(32, buffer_size=2, capacity=2)
+        reqs = uniform_requests(net, 40, 32, rng=seed)
+        router = RandomizedLineRouter(net, 128, rng=seed, lam=1.0)
+        plan = router.route(reqs)
+        assert not plan.truncated
+
+    @settings(max_examples=10, deadline=None)
+    @given(seeds)
+    def test_far_class_respects_capacities(self, seed):
+        net = LineNetwork(32, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 50, 32, rng=seed)
+        router = RandomizedLineRouter(net, 128, rng=seed, lam=1.0, force_class="far")
+        router.route(reqs)
+        assert router.far_router.ledger.max_load_ratio() <= 1.0
+
+
+class TestBufferlessInvariants:
+    @settings(max_examples=20, deadline=None)
+    @given(seeds)
+    def test_accepted_diagonals_disjoint(self, seed):
+        net = LineNetwork(16, buffer_size=0, capacity=1)
+        reqs = uniform_requests(net, 25, 16, rng=seed)
+        plan = BufferlessLineRouter(net, 48).route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 48)
+        assert plan.consistent_with_simulation(result)
+        assert result.stats.max_link_load <= 1

@@ -1,0 +1,266 @@
+"""Tests for the randomized algorithm (Section 7)."""
+
+import math
+
+import pytest
+
+from repro.core.base import RouteOutcome
+from repro.core.randomized import (
+    FarPlusRouter,
+    NearRouter,
+    RandomizedLineRouter,
+    RandomizedParams,
+)
+from repro.core.randomized.combined import proposition14_filter
+from repro.network.packet import Request
+from repro.network.simulator import execute_plan
+from repro.network.topology import LineNetwork
+from repro.util.errors import ValidationError
+from repro.workloads.uniform import uniform_requests
+
+
+class TestParams:
+    def test_definition15_small_product(self):
+        # B * c = 1 < log n: tau = 2 ceil(log n / c), Q = 2 ceil(log n / B)
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        p = RandomizedParams.for_network(net)
+        assert p.tau == 2 * math.ceil(6)
+        assert p.Q == 2 * math.ceil(6)
+
+    def test_definition15_large_product(self):
+        net = LineNetwork(64, buffer_size=3, capacity=3)
+        p = RandomizedParams.for_network(net)  # B c = 9 >= 6
+        assert p.tau == 6 and p.Q == 6
+
+    def test_pmax_and_k(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        p = RandomizedParams.for_network(net)
+        assert p.pmax == 256
+        assert p.k == math.ceil(math.log2(1 + 3 * 256))
+
+    def test_paper_lambda(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        p = RandomizedParams.for_network(net)
+        assert p.lam == pytest.approx(1.0 / (200 * p.k))
+
+    def test_lambda_override(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        p = RandomizedParams.for_network(net, lam=0.25)
+        assert p.lam == 0.25
+
+    def test_proposition16(self):
+        for B, c in [(1, 1), (1, 3), (2, 2), (3, 1), (4, 4)]:
+            net = LineNetwork(256, buffer_size=B, capacity=c)
+            RandomizedParams.for_network(net).check_proposition16()
+
+    def test_rejects_large_b(self):
+        net = LineNetwork(16, buffer_size=10, capacity=1)
+        with pytest.raises(ValidationError):
+            RandomizedParams.for_network(net)
+
+    def test_rejects_grid(self):
+        from repro.network.topology import GridNetwork
+
+        with pytest.raises(ValidationError):
+            RandomizedParams.for_network(GridNetwork((4, 4)))
+
+    def test_side_cap_positive(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        p = RandomizedParams.for_network(net)
+        assert p.side_cap >= 1
+
+
+class TestClassification:
+    def setup_method(self):
+        self.net = LineNetwork(64, buffer_size=1, capacity=1)
+        self.params = RandomizedParams.for_network(self.net, lam=1.0)
+        self.router = FarPlusRouter(self.net, 256, self.params, phases=(0, 0))
+
+    def test_near_same_band(self):
+        # Q = 12 with zero phase: rows 0..11 are one band
+        assert self.router.is_near(Request.line(1, 10, 0))
+
+    def test_far_across_bands(self):
+        assert not self.router.is_near(Request.line(1, 20, 0))
+
+    def test_sw_membership(self):
+        # vertex (1, -1): local row 1 < 6, local col (-1 mod 12) = 11 >= 6 -> not SW
+        r = Request.line(1, 30, 0)
+        assert not self.router.in_sw(r)
+        # vertex (1, 1) at t = 2: local col 1 < 6 -> SW
+        r2 = Request.line(1, 30, 2)
+        assert self.router.in_sw(r2)
+
+    def test_far_plus(self):
+        assert self.router.is_far_plus(Request.line(1, 30, 2))
+        assert not self.router.is_far_plus(Request.line(1, 10, 2))  # near
+
+    def test_trivial_not_far_plus(self):
+        assert not self.router.is_far_plus(Request.line(3, 3, 2))
+
+
+class TestFarPlusPipeline:
+    def make(self, lam=1.0, n=64, horizon=256):
+        net = LineNetwork(n, buffer_size=1, capacity=1)
+        params = RandomizedParams.for_network(net, lam=lam)
+        return net, FarPlusRouter(net, horizon, params, phases=(0, 0), rng=0)
+
+    def test_far_plus_delivery(self):
+        net, router = self.make()
+        r = Request.line(1, 30, 2, rid=0)
+        outcome, path = router.route_one(r)
+        assert outcome == RouteOutcome.DELIVERED
+        assert path.end(1)[0] == 30
+
+    def test_lambda_zero_rejects_all(self):
+        net, router = self.make(lam=0.0)
+        outcome, _ = router.route_one(Request.line(1, 30, 2, rid=0))
+        assert outcome == RouteOutcome.REJECTED
+        assert router.counters["coin_rejected"] == 1
+
+    def test_plan_replays(self):
+        net, router = self.make()
+        reqs = [r for r in uniform_requests(net, 50, 64, rng=1)]
+        plan = router.route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 256)
+        assert plan.consistent_with_simulation(result)
+
+    def test_nonpreemptive(self):
+        net, router = self.make()
+        reqs = uniform_requests(net, 80, 64, rng=2)
+        plan = router.route(reqs)
+        assert not plan.truncated  # rejection only happens before injection
+
+    def test_invariant_loads_within_capacity(self):
+        net, router = self.make()
+        reqs = uniform_requests(net, 120, 64, rng=3)
+        router.route(reqs)
+        assert router.ledger.max_load_ratio() <= 1.0
+
+    def test_quarter_load_cap_respected(self):
+        net, router = self.make()
+        reqs = uniform_requests(net, 200, 32, rng=4)
+        router.route(reqs)
+        for edge, load in router.sparse_load.items():
+            assert load < router.sketch.capacity(edge) / 4.0 + 1
+
+    def test_side_caps_respected(self):
+        net, router = self.make()
+        reqs = uniform_requests(net, 200, 32, rng=5)
+        router.route(reqs)
+        for state in router.quadrants.values():
+            assert state.east_exits <= router.params.side_cap
+            assert state.north_exits <= router.params.side_cap
+
+    def test_plane_assignment_monotone(self):
+        net, router = self.make()
+        # three identical far+ sources: planes 1, 2, 3 (B + c = 2 usable)
+        reqs = [Request.line(1, 30, 2, rid=i) for i in range(3)]
+        plan = router.route(reqs)
+        delivered = [i for i in range(3) if plan.outcome[i] == RouteOutcome.DELIVERED]
+        # B = c = 1: plane 1 horizontal, plane 2 vertical, plane 3 rejected
+        assert len(delivered) <= 2
+        assert router.counters["iroute_rejected"] >= 1
+
+
+class TestNearRouter:
+    def test_near_delivery(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        params = RandomizedParams.for_network(net, lam=1.0)
+        router = NearRouter(net, 256, params, phases=(0, 0))
+        plan = router.route([Request.line(1, 8, 0, rid=0)])
+        assert plan.outcome[0] == RouteOutcome.DELIVERED
+        # vertical path: transmit every step
+        assert set(plan.paths[0].moves) == {0}
+
+    def test_far_rejected_by_near_router(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        params = RandomizedParams.for_network(net, lam=1.0)
+        router = NearRouter(net, 256, params, phases=(0, 0))
+        plan = router.route([Request.line(1, 40, 0, rid=0)])
+        assert plan.outcome[0] == RouteOutcome.REJECTED
+
+    def test_saturation_rejects(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        params = RandomizedParams.for_network(net, lam=1.0)
+        router = NearRouter(net, 256, params, phases=(0, 0))
+        reqs = [Request.line(1, 8, 0, rid=i) for i in range(3)]
+        plan = router.route(reqs)
+        delivered = [i for i in range(3) if plan.outcome[i] == RouteOutcome.DELIVERED]
+        assert len(delivered) == 1  # c = 1: one vertical path per diagonal
+
+    def test_plan_replays(self):
+        net = LineNetwork(64, buffer_size=2, capacity=2)
+        params = RandomizedParams.for_network(net, lam=1.0)
+        router = NearRouter(net, 256, params, phases=(3, 5))
+        reqs = uniform_requests(net, 60, 64, rng=6)
+        plan = router.route(reqs)
+        result = execute_plan(net, plan.all_executable_paths(), reqs, 256)
+        assert plan.consistent_with_simulation(result)
+
+
+class TestProposition14:
+    def test_filter_keeps_closest(self):
+        reqs = [
+            Request.line(0, 9, 0, rid=0),
+            Request.line(0, 2, 0, rid=1),
+            Request.line(0, 5, 0, rid=2),
+        ]
+        kept, dropped = proposition14_filter(reqs, 2)
+        assert {r.rid for r in kept} == {1, 2}
+        assert {r.rid for r in dropped} == {0}
+
+    def test_filter_groups_by_event(self):
+        reqs = [
+            Request.line(0, 9, 0, rid=0),
+            Request.line(0, 9, 1, rid=1),
+            Request.line(1, 9, 0, rid=2),
+        ]
+        kept, dropped = proposition14_filter(reqs, 1)
+        assert len(kept) == 3 and not dropped
+
+
+class TestCombined:
+    def test_class_selection_by_coin(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        classes = set()
+        for seed in range(12):
+            router = RandomizedLineRouter(net, 256, rng=seed, lam=1.0)
+            classes.add(router.plan_class())
+        assert classes == {"far+", "near"}
+
+    def test_force_class(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        far = RandomizedLineRouter(net, 256, rng=0, lam=1.0, force_class="far")
+        near = RandomizedLineRouter(net, 256, rng=0, lam=1.0, force_class="near")
+        assert far.serve_far and not near.serve_far
+
+    def test_combined_plan_replays(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 60, 64, rng=7)
+        for seed in (0, 1, 2):
+            router = RandomizedLineRouter(net, 256, rng=seed, lam=0.6)
+            plan = router.route(reqs)
+            result = execute_plan(net, plan.all_executable_paths(), reqs, 256)
+            assert plan.consistent_with_simulation(result)
+
+    def test_all_outcomes_recorded(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 40, 64, rng=8)
+        router = RandomizedLineRouter(net, 256, rng=1, lam=1.0)
+        plan = router.route(reqs)
+        assert set(plan.outcome) == {r.rid for r in reqs}
+
+    def test_phases_within_ranges(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        for seed in range(10):
+            router = RandomizedLineRouter(net, 128, rng=seed)
+            pq, pt = router.phases
+            assert 0 <= pq < router.params.Q and 0 <= pt < router.params.tau
+
+    def test_deterministic_given_seed(self):
+        net = LineNetwork(64, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 40, 64, rng=9)
+        t1 = RandomizedLineRouter(net, 256, rng=5, lam=0.7).route(reqs).throughput
+        t2 = RandomizedLineRouter(net, 256, rng=5, lam=0.7).route(reqs).throughput
+        assert t1 == t2

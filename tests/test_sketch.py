@@ -1,0 +1,153 @@
+"""Tests for sketch graphs (Sections 3.4, 5.1, 5.4)."""
+
+import math
+
+import pytest
+
+from repro.network.packet import Request
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.spacetime.sketch import PlainSketchGraph, SplitSketchGraph
+from repro.spacetime.tiling import Tiling
+
+
+@pytest.fixture
+def setup_line():
+    net = LineNetwork(8, buffer_size=2, capacity=3)
+    graph = SpaceTimeGraph(net, horizon=16)
+    tiling = Tiling((4, 4))
+    return net, graph, tiling
+
+
+class TestPlainSketch:
+    def test_boundary_capacities(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        # vertical (space axis): c * tau = 3 * 4; horizontal: B * Q = 2 * 4
+        assert sk.boundary_capacity(0) == 12
+        assert sk.boundary_capacity(1) == 8
+
+    def test_rect_tiles_capacities(self):
+        net = LineNetwork(8, buffer_size=2, capacity=3)
+        graph = SpaceTimeGraph(net, horizon=16)
+        sk = PlainSketchGraph(graph, Tiling((6, 4)))  # Q = 6, tau = 4
+        assert sk.boundary_capacity(0) == 3 * 4  # c * tau
+        assert sk.boundary_capacity(1) == 2 * 6  # B * Q
+
+    def test_node_capacity_formula(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        # d=1: 2 k^2 (B + c) with k = 4
+        assert sk.node_capacity((0, 0)) == 2 * 16 * (2 + 3)
+
+    def test_out_edges_structure(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        edges = dict(sk.out_edges(("t", (0, 0))))
+        assert ("e", (0, 0), 0) in edges and edges[("e", (0, 0), 0)] == ("t", (1, 0))
+        assert ("e", (0, 0), 1) in edges and edges[("e", (0, 0), 1)] == ("t", (0, 1))
+
+    def test_source_node(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        r = Request.line(2, 6, 1)
+        assert sk.source_node(r) == ("t", (0, -1 // 4 if -1 % 4 else 0))
+        # explicit: source vertex (2, -1) -> tile (0, -1)
+        assert sk.source_node(r) == ("t", (0, (1 - 2 - 0) // 4))
+
+    def test_sink_registration(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        node = sk.register_sink("s1", (6,), 0, 16)
+        assert node == ("sink", "s1")
+        tiles = sk.sink_tiles("s1")
+        assert tiles and all(t[0] == 1 for t in tiles)  # node 6 in band 1
+        # sink edges appear on those tiles
+        heads = [h for _, h in sk.out_edges(("t", tiles[0]))]
+        assert ("sink", "s1") in heads
+
+    def test_sink_idempotent(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        a = sk.register_sink("s1", (6,), 0, 16)
+        b = sk.register_sink("s1", (6,), 0, 16)
+        assert a == b
+        tile = sk.sink_tiles("s1")[0]
+        sink_edges = [e for e, h in sk.out_edges(("t", tile)) if h == ("sink", "s1")]
+        assert len(sink_edges) == 1
+
+    def test_sink_empty_window(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        assert sk.register_sink("s2", (6,), 100, 200) is None
+
+    def test_sink_capacity_infinite(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        sk.register_sink("s1", (6,), 0, 16)
+        tile = sk.sink_tiles("s1")[0]
+        assert math.isinf(sk.capacity(("k", tile, "s1")))
+
+    def test_is_sink(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        assert sk.is_sink(("sink", "x"))
+        assert not sk.is_sink(("t", (0, 0)))
+
+    def test_min_capacity(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = PlainSketchGraph(graph, tiling)
+        assert sk.min_capacity() == 8
+
+
+class TestSplitSketch:
+    def test_interior_capacity_d1(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = SplitSketchGraph(graph, tiling)
+        assert sk.interior_capacity() == 2
+        assert sk.capacity(("i", (0, 0))) == 2
+
+    def test_interior_capacity_d2(self):
+        net = GridNetwork((4, 4), buffer_size=3, capacity=3)
+        graph = SpaceTimeGraph(net, horizon=12)
+        sk = SplitSketchGraph(graph, Tiling.cubes(2, 4))
+        assert sk.interior_capacity() == 3
+
+    def test_boundary_capacity_is_one(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = SplitSketchGraph(graph, tiling)
+        assert sk.capacity(("e", (0, 0), 0)) == 1.0
+
+    def test_in_out_wiring(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = SplitSketchGraph(graph, tiling)
+        in_edges = list(sk.out_edges(("in", (0, 0))))
+        assert in_edges == [(("i", (0, 0)), ("out", (0, 0)))]
+        out_heads = [h for _, h in sk.out_edges(("out", (0, 0)))]
+        assert ("in", (1, 0)) in out_heads and ("in", (0, 1)) in out_heads
+
+    def test_sink_edges_leave_out_half(self, setup_line):
+        # Prop. 9 counts sink paths through the interior edge, so sinks
+        # must hang off s_out
+        net, graph, tiling = setup_line
+        sk = SplitSketchGraph(graph, tiling)
+        sk.register_sink("r1", (6,), 0, 16)
+        tile = sk.sink_tiles("r1")[0]
+        assert ("sink", "r1") in [h for _, h in sk.out_edges(("out", tile))]
+        assert ("sink", "r1") not in [h for _, h in sk.out_edges(("in", tile))]
+
+    def test_source_node_is_in_half(self, setup_line):
+        net, graph, tiling = setup_line
+        sk = SplitSketchGraph(graph, tiling)
+        r = Request.line(2, 6, 1)
+        node = sk.source_node(r)
+        assert node[0] == "in"
+
+
+class TestBufferlessSketch:
+    def test_no_column_edges_when_b0(self):
+        net = LineNetwork(8, buffer_size=0, capacity=3)
+        graph = SpaceTimeGraph(net, horizon=16)
+        sk = PlainSketchGraph(graph, Tiling((4, 4)))
+        axes = {e[2] for e, _ in sk.out_edges(("t", (0, 0))) if e[0] == "e"}
+        assert axes == {0}  # only space-axis sketch edges survive

@@ -1,0 +1,168 @@
+"""Tests for tiling and quadrants (Sections 3.3 and 7.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.topology import LineNetwork
+from repro.spacetime.graph import SpaceTimeGraph
+from repro.spacetime.tiling import Quadrant, Tiling
+from repro.util.errors import ValidationError
+
+
+class TestConstruction:
+    def test_cubes(self):
+        t = Tiling.cubes(2, 5)
+        assert t.sides == (5, 5, 5) and t.phases == (0, 0, 0)
+
+    def test_phases_default_zero(self):
+        assert Tiling((4, 6)).phases == (0, 0)
+
+    def test_rejects_zero_side(self):
+        with pytest.raises(ValidationError):
+            Tiling((0, 4))
+
+    def test_rejects_phase_out_of_range(self):
+        with pytest.raises(ValidationError):
+            Tiling((4, 4), (4, 0))
+
+    def test_rejects_phase_length_mismatch(self):
+        with pytest.raises(ValidationError):
+            Tiling((4, 4), (0,))
+
+
+class TestTileGeometry:
+    def test_tile_of_origin(self):
+        t = Tiling((4, 4))
+        assert t.tile_of((0, 0)) == (0, 0)
+        assert t.tile_of((3, 3)) == (0, 0)
+        assert t.tile_of((4, 0)) == (1, 0)
+
+    def test_tile_of_negative(self):
+        t = Tiling((4, 4))
+        assert t.tile_of((0, -1)) == (0, -1)
+        assert t.tile_of((0, -4)) == (0, -1)
+        assert t.tile_of((0, -5)) == (0, -2)
+
+    def test_phase_shift(self):
+        t = Tiling((4, 4), (1, 2))
+        assert t.tile_of((1, 2)) == (0, 0)
+        assert t.tile_of((0, 0)) == (-1, -1)
+
+    def test_origin_roundtrip(self):
+        t = Tiling((4, 6), (2, 3))
+        tile = t.tile_of((9, 10))
+        org = t.origin(tile)
+        assert all(o <= x < o + s for o, x, s in zip(org, (9, 10), t.sides))
+
+    def test_ranges(self):
+        t = Tiling((4, 6))
+        assert t.ranges((1, 2)) == [(4, 8), (12, 18)]
+
+    def test_local(self):
+        t = Tiling((4, 6), (1, 0))
+        assert t.local((5, 7)) == (0, 1)
+
+    def test_contains(self):
+        t = Tiling((4, 4))
+        assert t.contains((1, 1), (5, 6))
+        assert not t.contains((0, 0), (5, 6))
+
+    @given(st.integers(-30, 30), st.integers(-30, 30),
+           st.integers(1, 7), st.integers(1, 7))
+    def test_tile_of_consistent_with_ranges(self, x, y, sx, sy):
+        t = Tiling((sx, sy))
+        tile = t.tile_of((x, y))
+        (lo0, hi0), (lo1, hi1) = t.ranges(tile)
+        assert lo0 <= x < hi0 and lo1 <= y < hi1
+
+    @given(st.integers(-20, 20), st.integers(0, 3), st.integers(0, 5))
+    def test_phases_translate_tiles(self, x, pa, pb):
+        base = Tiling((4, 6))
+        shifted = Tiling((4, 6), (pa, pb))
+        assert shifted.tile_of((x + pa, pb)) == base.tile_of((x, 0))
+
+
+class TestQuadrants:
+    def test_sw(self):
+        t = Tiling((4, 6))
+        assert t.quadrant_of((0, 0)) == Quadrant.SW
+        assert t.quadrant_of((1, 2)) == Quadrant.SW
+
+    def test_se(self):
+        t = Tiling((4, 6))
+        assert t.quadrant_of((1, 3)) == Quadrant.SE
+
+    def test_nw(self):
+        t = Tiling((4, 6))
+        assert t.quadrant_of((2, 0)) == Quadrant.NW
+
+    def test_ne(self):
+        t = Tiling((4, 6))
+        assert t.quadrant_of((3, 5)) == Quadrant.NE
+
+    def test_requires_even_sides(self):
+        with pytest.raises(ValidationError):
+            Tiling((3, 4)).quadrant_of((0, 0))
+
+    def test_requires_two_axes(self):
+        with pytest.raises(ValidationError):
+            Tiling((4, 4, 4)).quadrant_of((0, 0, 0))
+
+    def test_quadrant_ranges_cover_tile(self):
+        t = Tiling((4, 6))
+        cells = set()
+        for q in Quadrant:
+            (r0, r1), (c0, c1) = t.quadrant_ranges((0, 0), q)
+            for r in range(r0, r1):
+                for c in range(c0, c1):
+                    cells.add((r, c))
+        assert len(cells) == 24  # disjoint cover of the 4 x 6 tile
+
+    @given(st.integers(0, 3), st.integers(0, 5))
+    def test_quadrant_matches_ranges(self, r, c):
+        t = Tiling((4, 6))
+        q = t.quadrant_of((r, c))
+        (r0, r1), (c0, c1) = t.quadrant_ranges((0, 0), q)
+        assert r0 <= r < r1 and c0 <= c < c1
+
+
+class TestOverGraph:
+    def test_all_tiles_cover_valid_region(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=12)
+        t = Tiling((4, 4))
+        tiles = set(t.all_tiles(graph))
+        for x in range(8):
+            for time in range(13):
+                v = (x, time - x)
+                assert t.tile_of(v) in tiles
+
+    def test_all_tiles_excludes_far_tiles(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=12)
+        t = Tiling((4, 4))
+        tiles = set(t.all_tiles(graph))
+        assert (0, 100) not in tiles and (50, 0) not in tiles
+
+    def test_tiles_with_dest_copies(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=12)
+        t = Tiling((4, 4))
+        tiles = t.tiles_with_dest_copies(graph, (6,), 3, 9)
+        # copies of node 6 at t' in [3, 9]: columns -3..3 -> col tiles -1, 0
+        assert tiles == [(1, -1), (1, 0)]
+
+    def test_tiles_with_dest_copies_empty_window(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=12)
+        t = Tiling((4, 4))
+        assert t.tiles_with_dest_copies(graph, (6,), 20, 30) == []
+
+    def test_tile_bounds_sane(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, horizon=12)
+        t = Tiling((4, 4))
+        (rlo, rhi), (clo, chi) = t.tile_bounds(graph)
+        assert rlo == 0 and rhi == 1
+        assert clo == (-7 - 0) // 4 and chi == 3

@@ -1,0 +1,86 @@
+"""Tests for the ASCII renderers."""
+
+import pytest
+
+from repro.analysis.viz import render_sketch_loads, render_spacetime, render_tile_quadrants
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.spacetime.graph import STPath, SpaceTimeGraph
+from repro.spacetime.sketch import PlainSketchGraph
+from repro.spacetime.tiling import Tiling
+from repro.util.errors import ValidationError
+
+
+class TestSpacetimeRender:
+    def setup_method(self):
+        self.net = LineNetwork(6, buffer_size=2, capacity=2)
+        self.graph = SpaceTimeGraph(self.net, 10)
+
+    def test_empty_grid(self):
+        text = render_spacetime(self.graph, col_lo=0, col_hi=5)
+        lines = text.splitlines()
+        assert len(lines) == 6 + 2  # rows + axis + caption
+        assert lines[0].startswith("  5")
+        assert "....." in lines[0]
+
+    def test_path_glyphs(self):
+        path = STPath((0, 0), (0, 0, 1), rid=9)
+        text = render_spacetime(self.graph, [path], col_lo=0, col_hi=5)
+        grid = text.split("    ^")[0]  # strip axis + legend
+        assert grid.count("A") == 4  # 3 moves -> 4 vertices
+        assert "A = request 9" in text
+
+    def test_two_paths_distinct_glyphs(self):
+        p1 = STPath((0, 0), (0,), rid=1)
+        p2 = STPath((3, 0), (1,), rid=2)
+        text = render_spacetime(self.graph, [p1, p2], col_lo=0, col_hi=5)
+        assert "A" in text and "B" in text
+
+    def test_tile_rulings(self):
+        text = render_spacetime(self.graph, tiling=Tiling((3, 3)),
+                                col_lo=0, col_hi=5)
+        assert "+" in text and "|" in text and "-" in text
+
+    def test_rejects_grids(self):
+        g2 = SpaceTimeGraph(GridNetwork((3, 3)), 6)
+        with pytest.raises(ValidationError):
+            render_spacetime(g2)
+
+    def test_window_clipping(self):
+        path = STPath((0, 0), (1,) * 9, rid=0)
+        text = render_spacetime(self.graph, [path], col_lo=0, col_hi=3)
+        grid = text.split("    ^")[0]
+        assert grid.count("A") == 4  # clipped to the window
+
+
+class TestQuadrantRender:
+    def test_counts(self):
+        text = render_tile_quadrants(4, 6)
+        grid = "".join(text.splitlines()[:4]).replace(" ", "")
+        assert grid.count("I") == 2 * 3
+        assert grid.count("X") == 2 * 3
+        assert grid.count("T") == 2 * 3 * 2
+
+    def test_requires_even(self):
+        with pytest.raises(ValidationError):
+            render_tile_quadrants(3, 4)
+
+    def test_legend_present(self):
+        text = render_tile_quadrants(4, 4)
+        assert "I-routing" in text and "X-routing" in text
+
+
+class TestSketchLoadRender:
+    def test_renders_loads(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, 8)
+        sketch = PlainSketchGraph(graph, Tiling((4, 4)))
+        loads = {("e", (0, 0), 0): 3, ("e", (0, 0), 1): 1}
+        text = render_sketch_loads(sketch, loads)
+        assert "3^" in text and "1>" in text
+
+    def test_empty_sketch_loads(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        graph = SpaceTimeGraph(net, 8)
+        sketch = PlainSketchGraph(graph, Tiling((4, 4)))
+        text = render_sketch_loads(sketch, {})
+        assert "band" in text

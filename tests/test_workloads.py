@@ -1,0 +1,156 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.util.errors import ValidationError
+from repro.workloads import (
+    bursty_requests,
+    clogging_instance,
+    deadline_requests,
+    dense_area_instance,
+    distance_cascade_instance,
+    grid_crossfire_instance,
+    permutation_requests,
+    poisson_requests,
+    uniform_requests,
+    with_deadlines,
+)
+
+
+class TestUniform:
+    def test_count_and_validity(self):
+        net = GridNetwork((4, 4), buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 30, 10, rng=0)
+        assert len(reqs) == 30
+        for r in reqs:
+            net.check_request(r)
+            assert r.distance >= 1
+            assert 0 <= r.arrival <= 10
+
+    def test_reproducible(self):
+        net = LineNetwork(8)
+        a = uniform_requests(net, 10, 5, rng=42)
+        b = uniform_requests(net, 10, 5, rng=42)
+        assert [(r.source, r.dest, r.arrival) for r in a] == [
+            (r.source, r.dest, r.arrival) for r in b
+        ]
+
+    def test_min_distance(self):
+        net = LineNetwork(16)
+        reqs = uniform_requests(net, 20, 5, rng=1, min_distance=4)
+        assert all(r.distance >= 4 for r in reqs)
+
+
+class TestPoisson:
+    def test_rate_scales_count(self):
+        net = LineNetwork(8)
+        low = poisson_requests(net, 0.5, 50, rng=0)
+        high = poisson_requests(net, 4.0, 50, rng=0)
+        assert len(high) > len(low)
+
+    def test_max_requests_cap(self):
+        net = LineNetwork(8)
+        reqs = poisson_requests(net, 5.0, 100, rng=0, max_requests=17)
+        assert len(reqs) == 17
+
+    def test_validity(self):
+        net = GridNetwork((3, 3))
+        for r in poisson_requests(net, 2.0, 20, rng=3):
+            net.check_request(r)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        net = LineNetwork(16)
+        reqs = bursty_requests(net, bursts=3, burst_size=5, horizon=20, rng=0)
+        times = {r.arrival for r in reqs}
+        assert len(times) <= 3
+        for r in reqs:
+            net.check_request(r)
+
+    def test_spread(self):
+        net = LineNetwork(16)
+        reqs = bursty_requests(net, 1, 20, 10, rng=1, spread=2)
+        sources = {r.source[0] for r in reqs}
+        assert max(sources) - min(sources) <= 4
+
+
+class TestPermutation:
+    def test_halves(self):
+        net = LineNetwork(8)
+        reqs = permutation_requests(net, rng=0)
+        for r in reqs:
+            assert r.source[0] < 4 <= r.dest[0]
+
+    def test_rounds(self):
+        net = LineNetwork(8)
+        one = permutation_requests(net, rng=0, rounds=1)
+        three = permutation_requests(net, rng=0, rounds=3, window=4)
+        assert len(three) == 3 * len(one)
+
+    def test_grid(self):
+        net = GridNetwork((4, 4))
+        reqs = permutation_requests(net, rng=1)
+        assert reqs and all(net.contains(r.dest) for r in reqs)
+
+
+class TestDeadlines:
+    def test_slack_zero_forces_shortest(self):
+        net = LineNetwork(8)
+        reqs = deadline_requests(net, 10, 5, slack=0, rng=0)
+        for r in reqs:
+            assert r.deadline == r.arrival + r.distance
+
+    def test_with_deadlines_preserves_ids(self):
+        net = LineNetwork(8)
+        base = uniform_requests(net, 5, 5, rng=0)
+        dl = with_deadlines(base, slack=3)
+        assert [r.rid for r in dl] == [r.rid for r in base]
+        assert all(r.deadline == r.arrival + r.distance + 3 for r in dl)
+
+    def test_jitter_bounds(self):
+        net = LineNetwork(8)
+        reqs = deadline_requests(net, 20, 5, slack=2, rng=1, jitter=3)
+        for r in reqs:
+            assert 2 <= r.deadline - r.arrival - r.distance <= 5
+
+
+class TestAdversarial:
+    def test_clogging_shape(self):
+        net = LineNetwork(8, buffer_size=2, capacity=1)
+        reqs = clogging_instance(net, duration=4, shorts_per_node=1)
+        longs = [r for r in reqs if r.distance == 7]
+        shorts = [r for r in reqs if r.distance == 1]
+        assert len(longs) == 4 and len(shorts) == 6 * 4
+
+    def test_clogging_needs_four_nodes(self):
+        with pytest.raises(ValidationError):
+            clogging_instance(LineNetwork(3))
+
+    def test_cascade_classes(self):
+        net = LineNetwork(16, buffer_size=1, capacity=1)
+        reqs = distance_cascade_instance(net, rng=0)
+        distances = {r.distance for r in reqs}
+        assert distances == {1, 2, 4, 8}
+
+    def test_dense_area(self):
+        net = GridNetwork((6, 6))
+        reqs = dense_area_instance(net, area_side=2, per_node=3)
+        assert len(reqs) == 4 * 3
+        assert all(r.dest == (5, 5) for r in reqs)
+
+    def test_dense_area_too_big(self):
+        with pytest.raises(ValidationError):
+            dense_area_instance(GridNetwork((4, 4)), area_side=5, per_node=1)
+
+    def test_crossfire_shape(self):
+        net = GridNetwork((8, 8))
+        reqs = grid_crossfire_instance(net, width=2)
+        rows = [r for r in reqs if r.source[0] == 0]
+        cols = [r for r in reqs if r.source[1] == 0]
+        assert len(rows) == 4 and len(cols) == 4
+
+    def test_crossfire_needs_2d(self):
+        with pytest.raises(ValidationError):
+            grid_crossfire_instance(LineNetwork(8))
