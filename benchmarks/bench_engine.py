@@ -2,20 +2,83 @@
 
 Per the hpc-parallel guides ("no optimization without measuring"), these
 pin the throughput of the hot paths: the synchronous step engine, the
-space-time load ledger, Dinic, and the deterministic pipeline end to end.
-They carry no paper claim -- they exist so regressions in the substrate
-are visible.
+array-backed fast engine, the space-time load ledger, Dinic, and the
+deterministic pipeline end to end.  They carry no paper claim -- they
+exist so regressions in the substrate are visible.
+
+Set ``REPRO_ENGINE=fast`` to run the whole bench suite (this file and the
+experiment benches) on the array-backed engine; see
+:mod:`repro.network.engine`.
 """
 
 from __future__ import annotations
 
-from repro.baselines.nearest_to_go import NearestToGoPolicy
+import time
+
+from conftest import emit
+
+from repro.analysis.tables import format_table
+from repro.baselines.greedy import run_greedy
+from repro.baselines.nearest_to_go import NearestToGoPolicy, run_nearest_to_go
 from repro.core.deterministic import DeterministicRouter
+from repro.network.engine import resolve_engine_name
 from repro.network.simulator import Simulator
-from repro.network.topology import LineNetwork
+from repro.network.topology import GridNetwork, LineNetwork
 from repro.packing.maxflow import throughput_upper_bound
 from repro.spacetime.graph import STPath, SpaceTimeGraph
 from repro.workloads.uniform import uniform_requests
+
+
+def test_engine_speedup():
+    """Reference vs fast engine on the largest grid workload of the suite.
+
+    The acceptance bar for the array-backed engine: >= 5x wall-clock on a
+    congested 48x48 grid with 20k requests, with identical status maps.
+    """
+    net = GridNetwork((48, 48), buffer_size=1, capacity=1)
+    reqs = uniform_requests(net, 20_000, 128, rng=7)
+    horizon = 128 + 2 * sum(net.dims)
+    rows = []
+    speedups = {}
+    for runner, label in ((run_greedy, "greedy/fifo"), (run_nearest_to_go, "ntg")):
+        t0 = time.perf_counter()
+        ref = runner(net, reqs, horizon, engine="reference")
+        t1 = time.perf_counter()
+        fast = runner(net, reqs, horizon, engine="fast")
+        t2 = time.perf_counter()
+        assert fast.status == ref.status
+        assert fast.stats.delivered == ref.stats.delivered
+        speedups[label] = (t1 - t0) / max(1e-9, t2 - t1)
+        rows.append([label, ref.throughput, f"{t1 - t0:.3f}",
+                     f"{t2 - t1:.3f}", f"{speedups[label]:.1f}x"])
+    emit(
+        "ENGINE_speedup",
+        format_table(
+            ["policy", "throughput", "reference_s", "fast_s", "speedup"],
+            rows,
+            title=f"engine speedup on {net} ({len(reqs)} requests, "
+                  f"horizon {horizon})",
+        ),
+    )
+    assert max(speedups.values()) >= 5.0, speedups
+
+
+def test_engine_env_selection():
+    """The suite-wide engine switch: run on whatever REPRO_ENGINE selects
+    (CI smokes this file under both values)."""
+    name = resolve_engine_name()
+    net = GridNetwork((12, 12), buffer_size=2, capacity=2)
+    reqs = uniform_requests(net, 800, 64, rng=11)
+    res = run_greedy(net, reqs, 256)  # engine resolved from the environment
+    emit(
+        "ENGINE_selected",
+        format_table(
+            ["engine", "throughput", "steps"],
+            [[name, res.throughput, res.stats.steps]],
+            title="suite engine selection smoke",
+        ),
+    )
+    assert res.throughput > 0
 
 
 def test_simulator_step_rate(benchmark):

@@ -5,6 +5,12 @@ table/figure/theorem -- see DESIGN.md Section 4 and EXPERIMENTS.md) and
 also appends it to ``benchmarks/_output/`` so results survive the pytest
 capture.  Benches assert the *shape* of each result (who wins, growth
 trends), not absolute numbers.
+
+The whole suite runs on either simulation engine: ``REPRO_ENGINE=fast``
+routes every greedy/NTG/plan run through the array-backed
+:class:`~repro.network.fast_engine.FastEngine` (policies the fast engine
+cannot vectorize fall back to the reference simulator); the default is the
+reference engine.  See :mod:`repro.network.engine`.
 """
 
 from __future__ import annotations

@@ -15,8 +15,9 @@ scheme analysed by [AKK09]).
 
 from __future__ import annotations
 
+from repro.network.engine import make_engine
 from repro.network.packet import Packet
-from repro.network.simulator import Decision, Policy, SimulationResult, Simulator
+from repro.network.simulator import Decision, Policy, SimulationResult
 from repro.network.topology import Network
 from repro.util.errors import ValidationError
 
@@ -38,7 +39,12 @@ _PRIORITIES = {
 
 
 class GreedyPolicy(Policy):
-    """Work-conserving greedy forwarding with a pluggable priority."""
+    """Work-conserving greedy forwarding with a pluggable priority.
+
+    ``fast_priority`` names the equivalent vectorized order of
+    :class:`~repro.network.fast_engine.FastEngine`, which replays this
+    policy bit-identically.
+    """
 
     def __init__(self, priority: str = "fifo"):
         if priority not in _PRIORITIES:
@@ -46,6 +52,7 @@ class GreedyPolicy(Policy):
                 f"unknown priority {priority!r}; choose from {sorted(_PRIORITIES)}"
             )
         self.priority = priority
+        self.fast_priority = priority
         self._key = _PRIORITIES[priority]
 
     def decide(self, node, t, candidates, network: Network) -> Decision:
@@ -65,7 +72,13 @@ class GreedyPolicy(Policy):
 
 
 def run_greedy(network: Network, requests, horizon: int,
-               priority: str = "fifo", trace: bool = False) -> SimulationResult:
-    """Simulate the greedy algorithm on ``requests``."""
-    sim = Simulator(network, GreedyPolicy(priority), trace=trace)
+               priority: str = "fifo", trace: bool = False,
+               engine: str | None = None) -> SimulationResult:
+    """Simulate the greedy algorithm on ``requests``.
+
+    ``engine`` picks the implementation (see :mod:`repro.network.engine`);
+    the default honours the ``REPRO_ENGINE`` environment variable.
+    """
+    sim = make_engine(network, GreedyPolicy(priority), engine=engine,
+                      trace=trace)
     return sim.run(requests, horizon)

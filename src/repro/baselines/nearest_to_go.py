@@ -11,7 +11,8 @@ interval packing of Section 5.2.1.
 from __future__ import annotations
 
 from repro.baselines.greedy import one_bend_axis
-from repro.network.simulator import Decision, Policy, SimulationResult, Simulator
+from repro.network.engine import make_engine
+from repro.network.simulator import Decision, Policy, SimulationResult
 from repro.network.topology import Network
 
 
@@ -21,7 +22,13 @@ def ntg_key(pkt):
 
 
 class NearestToGoPolicy(Policy):
-    """Forward the nearest packets first; buffer the nearest leftovers."""
+    """Forward the nearest packets first; buffer the nearest leftovers.
+
+    ``fast_priority`` names the equivalent vectorized order of
+    :class:`~repro.network.fast_engine.FastEngine`.
+    """
+
+    fast_priority = "ntg"
 
     def decide(self, node, t, candidates, network: Network) -> Decision:
         B, c = network.buffer_size, network.capacity
@@ -40,7 +47,13 @@ class NearestToGoPolicy(Policy):
 
 
 def run_nearest_to_go(network: Network, requests, horizon: int,
-                      trace: bool = False) -> SimulationResult:
-    """Simulate the nearest-to-go policy on ``requests``."""
-    sim = Simulator(network, NearestToGoPolicy(), trace=trace)
+                      trace: bool = False,
+                      engine: str | None = None) -> SimulationResult:
+    """Simulate the nearest-to-go policy on ``requests``.
+
+    ``engine`` picks the implementation (see :mod:`repro.network.engine`);
+    the default honours the ``REPRO_ENGINE`` environment variable.
+    """
+    sim = make_engine(network, NearestToGoPolicy(), engine=engine,
+                      trace=trace)
     return sim.run(requests, horizon)

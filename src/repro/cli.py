@@ -42,11 +42,11 @@ def _build_workload(net, args):
     raise SystemExit(f"unknown workload {args.workload!r}")
 
 
-def _run_algorithm(name, net, reqs, horizon, seed):
+def _run_algorithm(name, net, reqs, horizon, seed, engine=None):
     if name == "greedy":
-        return run_greedy(net, reqs, horizon).throughput
+        return run_greedy(net, reqs, horizon, engine=engine).throughput
     if name == "ntg":
-        return run_nearest_to_go(net, reqs, horizon).throughput
+        return run_nearest_to_go(net, reqs, horizon, engine=engine).throughput
     if name == "det":
         router = DeterministicRouter(net, horizon)
     elif name == "rand":
@@ -58,7 +58,8 @@ def _run_algorithm(name, net, reqs, horizon, seed):
     else:
         raise SystemExit(f"unknown algorithm {name!r}")
     plan = router.route(reqs)
-    result = execute_plan(net, plan.all_executable_paths(), reqs, horizon)
+    result = execute_plan(net, plan.all_executable_paths(), reqs, horizon,
+                          engine=engine)
     if not plan.consistent_with_simulation(result):
         raise SystemExit("internal error: plan/simulation mismatch")
     return plan.throughput
@@ -71,7 +72,8 @@ def cmd_demo(args) -> int:
     rows = []
     for name in ("rand", "greedy", "ntg"):
         try:
-            rows.append([name, _run_algorithm(name, net, reqs, horizon, args.seed)])
+            rows.append([name, _run_algorithm(name, net, reqs, horizon,
+                                              args.seed, engine=args.engine)])
         except Exception as exc:  # e.g. det needs B, c >= 3
             rows.append([name, f"n/a ({exc})"])
     rows.append(["offline bound", offline_bound(net, reqs, horizon)])
@@ -83,7 +85,8 @@ def cmd_demo(args) -> int:
 def cmd_route(args) -> int:
     net = _build_network(args)
     reqs = _build_workload(net, args)
-    tput = _run_algorithm(args.algorithm, net, reqs, args.horizon, args.seed)
+    tput = _run_algorithm(args.algorithm, net, reqs, args.horizon, args.seed,
+                          engine=args.engine)
     bound = offline_bound(net, reqs, args.horizon)
     print(format_table(
         ["algorithm", "requests", "throughput", "bound", "ratio"],
@@ -99,7 +102,8 @@ def cmd_compare(args) -> int:
     rows = []
     for name in args.algorithms:
         try:
-            tput = _run_algorithm(name, net, reqs, args.horizon, args.seed)
+            tput = _run_algorithm(name, net, reqs, args.horizon, args.seed,
+                                  engine=args.engine)
         except Exception as exc:
             rows.append([name, f"n/a: {exc}"])
             continue
@@ -133,11 +137,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    engine_kwargs = dict(
+        choices=("reference", "fast"), default=None,
+        help="simulation engine (default: REPRO_ENGINE env var or reference)",
+    )
+
     p = sub.add_parser("demo", help="quick scoreboard on a line")
     p.add_argument("-n", type=int, default=64)
     p.add_argument("-B", type=int, default=1)
     p.add_argument("-c", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--engine", **engine_kwargs)
     p.set_defaults(fn=cmd_demo)
 
     common = argparse.ArgumentParser(add_help=False)
@@ -150,6 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--workload", default="uniform",
                         choices=("uniform", "clogging"))
     common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--engine", **engine_kwargs)
 
     p = sub.add_parser("route", parents=[common], help="run one algorithm")
     p.add_argument("algorithm", choices=ALGORITHMS)

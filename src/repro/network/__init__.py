@@ -12,6 +12,8 @@ Contents
   grids (Section 2.2).
 * :mod:`repro.network.simulator` -- the synchronous step engine with both
   policy-driven and plan-driven front ends.
+* :mod:`repro.network.fast_engine` / :mod:`repro.network.engine` -- the
+  vectorized array-backed engine and the engine-selection protocol.
 * :mod:`repro.network.node_models` -- the two node-functionality models of
   Appendix F.
 * :mod:`repro.network.stats` / :mod:`repro.network.trace` -- accounting.
@@ -21,9 +23,19 @@ from repro.network.packet import DeliveryStatus, Packet, Request
 from repro.network.topology import GridNetwork, LineNetwork, Network
 from repro.network.simulator import SimulationResult, Simulator, execute_plan
 from repro.network.stats import NetworkStats
+from repro.network.fast_engine import FastEngine
+from repro.network.engine import (
+    Engine,
+    get_default_engine,
+    make_engine,
+    resolve_engine_name,
+    set_default_engine,
+)
 
 __all__ = [
     "DeliveryStatus",
+    "Engine",
+    "FastEngine",
     "GridNetwork",
     "LineNetwork",
     "Network",
@@ -33,4 +45,8 @@ __all__ = [
     "SimulationResult",
     "Simulator",
     "execute_plan",
+    "get_default_engine",
+    "make_engine",
+    "resolve_engine_name",
+    "set_default_engine",
 ]

@@ -1,0 +1,89 @@
+"""Engine selection: the reference simulator vs the array-backed engine.
+
+An *engine* is anything that implements the :class:`Engine` protocol --
+``run(requests, horizon) -> SimulationResult`` over a fixed network and
+policy.  Two implementations ship:
+
+* ``"reference"`` -- :class:`~repro.network.simulator.Simulator`, the
+  per-packet Python loop.  Supports every :class:`Policy`, validates
+  arbitrary decisions, and records traces.  Use it for correctness work,
+  custom policies, and debugging.
+* ``"fast"`` -- :class:`~repro.network.fast_engine.FastEngine`, the
+  numpy group-by engine.  Supports the greedy family and plan replay with
+  bit-identical results, at a fraction of the wall-clock.  Use it for
+  sweeps and large instances.
+
+Resolution order for the engine name: an explicit argument, then the
+``REPRO_ENGINE`` environment variable, then the module default set by
+:func:`set_default_engine` (initially ``"reference"``).  The environment
+hook is how the bench suite runs end to end on either engine without
+threading a flag through every experiment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Protocol
+
+from repro.network.fast_engine import FastEngine
+from repro.network.simulator import SimulationResult, Simulator
+from repro.util.errors import ValidationError
+
+#: environment variable consulted when no explicit engine is given
+ENGINE_ENV_VAR = "REPRO_ENGINE"
+
+ENGINES = {"reference": Simulator, "fast": FastEngine}
+
+_default_engine = "reference"
+
+
+class Engine(Protocol):
+    """A simulation engine bound to a network and a policy."""
+
+    def run(self, requests, horizon: int) -> SimulationResult:
+        """Simulate ``requests`` for time steps ``0..horizon`` inclusive."""
+        ...
+
+
+def _check_name(name: str) -> str:
+    if name not in ENGINES:
+        raise ValidationError(
+            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+        )
+    return name
+
+
+def get_default_engine() -> str:
+    """The engine name used when neither argument nor env var is set."""
+    return _default_engine
+
+
+def set_default_engine(name: str) -> None:
+    """Set the process-wide default engine (``"reference"`` or ``"fast"``)."""
+    global _default_engine
+    _default_engine = _check_name(name)
+
+
+def resolve_engine_name(engine: str | None = None) -> str:
+    """Resolve ``engine`` via argument > ``REPRO_ENGINE`` > default."""
+    if engine is not None:
+        return _check_name(engine)
+    env = os.environ.get(ENGINE_ENV_VAR)
+    if env:
+        return _check_name(env)
+    return _default_engine
+
+
+def make_engine(network, policy, engine: str | None = None,
+                trace: bool = False) -> Engine:
+    """Build the engine named by :func:`resolve_engine_name`.
+
+    When ``"fast"`` is selected but the request needs reference features
+    (tracing, or a policy the fast engine cannot vectorize), the reference
+    engine is returned instead, so experiment code can flip engines
+    globally without special-casing individual policies.
+    """
+    name = resolve_engine_name(engine)
+    if name == "fast" and (trace or not FastEngine.supports(policy)):
+        name = "reference"
+    return ENGINES[name](network, policy, trace=trace)

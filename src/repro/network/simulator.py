@@ -135,9 +135,9 @@ class Simulator:
                         )
                         pkt.delivered_at = t
                         status[pkt.rid] = pkt.status
+                        stats.delivery_times[pkt.rid] = t
                         if on_time:
                             stats.delivered += 1
-                            stats.delivery_times[pkt.rid] = t
                             trace.record(t, "deliver", pkt.rid, node)
                         else:
                             stats.late += 1
@@ -265,12 +265,17 @@ class PlanPolicy(Policy):
 
 
 def execute_plan(network: Network, plans: dict, requests, horizon: int,
-                 trace: bool = False) -> SimulationResult:
+                 trace: bool = False, engine: str | None = None) -> SimulationResult:
     """Run precomputed space-time paths through the engine.
 
     The engine enforces ``B``/``c``, so an infeasible plan raises
     :class:`~repro.util.errors.CapacityError` -- this is the cross-check
-    between the planners' numpy ledgers and the step semantics.
+    between the planners' numpy ledgers and the step semantics.  ``engine``
+    selects the implementation (see :mod:`repro.network.engine`); the
+    default honours ``REPRO_ENGINE``.
     """
-    sim = Simulator(network, PlanPolicy(network, plans), trace=trace)
+    from repro.network.engine import make_engine  # avoid an import cycle
+
+    sim = make_engine(network, PlanPolicy(network, plans), engine=engine,
+                      trace=trace)
     return sim.run(requests, horizon)

@@ -12,6 +12,11 @@ class NetworkStats:
     ``max_link_load``/``max_buffer_load`` record the worst observed
     utilisation (the simulator *enforces* the B and c bounds; these record
     how close the run came).
+
+    ``delivery_times`` records the delivery step of every packet that
+    reached its destination -- on time *or* late -- so latency metrics see
+    the full distribution; ``throughput`` still credits only on-time
+    deliveries.
     """
 
     delivered: int = 0
@@ -23,7 +28,7 @@ class NetworkStats:
     max_link_load: int = 0
     max_buffer_load: int = 0
     steps: int = 0
-    delivery_times: dict = field(default_factory=dict)  # rid -> time
+    delivery_times: dict = field(default_factory=dict)  # rid -> delivery step
 
     @property
     def throughput(self) -> int:

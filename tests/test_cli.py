@@ -24,6 +24,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["route", "magic"])
 
+    def test_engine_flag(self):
+        args = build_parser().parse_args(["route", "greedy", "--engine", "fast"])
+        assert args.engine == "fast"
+        args = build_parser().parse_args(["route", "greedy"])
+        assert args.engine is None  # resolved via REPRO_ENGINE / default
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "greedy", "--engine", "warp"])
+
 
 class TestCommands:
     def test_demo_runs(self, capsys):
@@ -68,6 +78,25 @@ class TestCommands:
         assert main(["figures"]) == 0
         out = capsys.readouterr().out
         assert "Figure 3" in out and "Figure 8/9" in out
+
+    def test_route_fast_engine(self, capsys):
+        assert main([
+            "route", "ntg", "--dims", "8x8", "-B", "2", "-c", "2",
+            "--requests", "40", "--arrival-window", "16",
+            "--horizon", "64", "--engine", "fast",
+        ]) == 0
+        assert "ratio" in capsys.readouterr().out
+
+    def test_compare_engines_agree(self, capsys):
+        argv = [
+            "compare", "greedy", "ntg", "--dims", "16", "-B", "2", "-c", "1",
+            "--requests", "30", "--arrival-window", "16", "--horizon", "64",
+        ]
+        assert main(argv + ["--engine", "reference"]) == 0
+        ref_out = capsys.readouterr().out
+        assert main(argv + ["--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert ref_out == fast_out
 
     def test_clogging_workload(self, capsys):
         assert main([

@@ -1,0 +1,218 @@
+"""Reference <-> fast engine parity and engine-selection tests.
+
+The array-backed :class:`~repro.network.fast_engine.FastEngine` must be a
+bit-identical drop-in for :class:`~repro.network.simulator.Simulator` on
+the policies it supports: same final ``status`` map, same stats counters,
+same delivery times -- across workload families, grid shapes, buffer and
+capacity settings, and priority orders.
+"""
+
+import pytest
+
+from repro.baselines.greedy import GreedyPolicy, run_greedy
+from repro.baselines.nearest_to_go import NearestToGoPolicy, run_nearest_to_go
+from repro.core.deterministic import DeterministicRouter
+from repro.network.engine import (
+    make_engine,
+    resolve_engine_name,
+    set_default_engine,
+)
+from repro.network.fast_engine import FastEngine
+from repro.network.packet import Request
+from repro.network.simulator import Decision, Policy, Simulator, execute_plan
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.util.errors import CapacityError, ValidationError
+from repro.workloads import (
+    clogging_instance,
+    deadline_requests,
+    grid_crossfire_instance,
+    poisson_requests,
+    uniform_requests,
+)
+
+STAT_FIELDS = (
+    "delivered", "late", "rejected", "preempted", "forwards", "stores",
+    "max_link_load", "max_buffer_load", "steps",
+)
+
+
+def assert_parity(net, policy_a, policy_b, reqs, horizon):
+    """Run both engines and assert identical results."""
+    ref = Simulator(net, policy_a).run(reqs, horizon)
+    fast = FastEngine(net, policy_b).run(reqs, horizon)
+    for name in STAT_FIELDS:
+        assert getattr(fast.stats, name) == getattr(ref.stats, name), name
+    assert fast.status == ref.status
+    assert fast.stats.delivery_times == ref.stats.delivery_times
+    return ref, fast
+
+
+NETWORK_GRID = [
+    ((9,), 1, 1),
+    ((9,), 0, 1),
+    ((12,), 2, 2),
+    ((4, 4), 1, 1),
+    ((3, 5), 2, 1),
+    ((4, 4), 0, 2),
+    ((2, 3, 2), 1, 1),
+]
+
+
+def build(dims, B, c):
+    if len(dims) == 1:
+        return LineNetwork(dims[0], buffer_size=B, capacity=c)
+    return GridNetwork(dims, buffer_size=B, capacity=c)
+
+
+class TestGreedyFamilyParity:
+    @pytest.mark.parametrize("dims,B,c", NETWORK_GRID)
+    @pytest.mark.parametrize("priority", ["fifo", "lifo", "longest"])
+    def test_uniform(self, dims, B, c, priority):
+        net = build(dims, B, c)
+        for seed in range(3):
+            reqs = uniform_requests(net, 40, 15, rng=seed)
+            assert_parity(net, GreedyPolicy(priority), GreedyPolicy(priority),
+                          reqs, 60)
+
+    @pytest.mark.parametrize("dims,B,c", NETWORK_GRID)
+    def test_ntg_uniform(self, dims, B, c):
+        net = build(dims, B, c)
+        for seed in range(3):
+            reqs = uniform_requests(net, 40, 15, rng=seed)
+            assert_parity(net, NearestToGoPolicy(), NearestToGoPolicy(),
+                          reqs, 60)
+
+    @pytest.mark.parametrize("dims,B,c", [((9,), 1, 1), ((4, 4), 2, 2)])
+    def test_poisson(self, dims, B, c):
+        net = build(dims, B, c)
+        for seed in range(3):
+            reqs = poisson_requests(net, 2.5, 20, rng=seed)
+            assert_parity(net, GreedyPolicy("fifo"), GreedyPolicy("fifo"),
+                          reqs, 80)
+            assert_parity(net, NearestToGoPolicy(), NearestToGoPolicy(),
+                          reqs, 80)
+
+    def test_deadlines_produce_identical_late_counts(self):
+        net = LineNetwork(6, buffer_size=4, capacity=1)
+        reqs = [Request.line(0, 3, 0, deadline=4 + i % 2, rid=1000 + i)
+                for i in range(5)]
+        ref, fast = assert_parity(net, GreedyPolicy("fifo"),
+                                  GreedyPolicy("fifo"), reqs, 40)
+        assert ref.stats.late > 0  # the scenario actually exercises lateness
+
+    @pytest.mark.parametrize("slack", [0, 2])
+    def test_random_deadlines(self, slack):
+        net = GridNetwork((4, 4), buffer_size=1, capacity=1)
+        for seed in range(3):
+            reqs = deadline_requests(net, 40, 12, slack=slack, rng=seed,
+                                     jitter=3)
+            assert_parity(net, NearestToGoPolicy(), NearestToGoPolicy(),
+                          reqs, 60)
+
+    def test_adversarial_clogging(self):
+        net = LineNetwork(12, buffer_size=1, capacity=1)
+        reqs = clogging_instance(net, duration=6)
+        assert_parity(net, GreedyPolicy("fifo"), GreedyPolicy("fifo"), reqs, 60)
+        assert_parity(net, NearestToGoPolicy(), NearestToGoPolicy(), reqs, 60)
+
+    def test_adversarial_crossfire(self):
+        net = GridNetwork((8, 8), buffer_size=1, capacity=1)
+        reqs = grid_crossfire_instance(net)
+        assert_parity(net, NearestToGoPolicy(), NearestToGoPolicy(), reqs, 80)
+
+    def test_arrival_beyond_horizon_and_trivial(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        reqs = [
+            Request.line(0, 2, 50, rid=0),  # never injected within horizon
+            Request.line(2, 2, 3, rid=1),   # trivial: delivered at injection
+        ]
+        ref, fast = assert_parity(net, GreedyPolicy("fifo"),
+                                  GreedyPolicy("fifo"), reqs, 10)
+        assert fast.status[0].value == "rejected"
+        assert fast.status[1].value == "delivered"
+
+    def test_empty_requests(self):
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        ref, fast = assert_parity(net, GreedyPolicy("fifo"),
+                                  GreedyPolicy("fifo"), [], 10)
+        assert fast.status == {} and fast.stats.steps == 0
+
+
+class TestPlanParity:
+    def test_deterministic_router_replay(self):
+        net = LineNetwork(16, buffer_size=3, capacity=3)
+        reqs = uniform_requests(net, 40, 16, rng=3)
+        paths = DeterministicRouter(net, 96).route(reqs).all_executable_paths()
+        ref = execute_plan(net, paths, reqs, 96, engine="reference")
+        fast = execute_plan(net, paths, reqs, 96, engine="fast")
+        for name in STAT_FIELDS:
+            assert getattr(fast.stats, name) == getattr(ref.stats, name), name
+        assert fast.status == ref.status
+        assert fast.stats.delivery_times == ref.stats.delivery_times
+
+    def test_infeasible_plan_raises_on_both_engines(self):
+        from repro.spacetime.graph import STPath
+
+        net = LineNetwork(3, buffer_size=1, capacity=1)
+        plans = {
+            0: STPath((0, 0), (0, 0), rid=0),
+            1: STPath((0, 0), (0, 0), rid=1),
+        }
+        reqs = [Request.line(0, 2, 0, rid=0), Request.line(0, 2, 0, rid=1)]
+        for engine in ("reference", "fast"):
+            with pytest.raises(CapacityError):
+                execute_plan(net, plans, reqs, 10, engine=engine)
+
+
+class TestEngineSelection:
+    def test_run_helpers_accept_engine(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        reqs = uniform_requests(net, 10, 8, rng=0)
+        for runner in (run_greedy, run_nearest_to_go):
+            ref = runner(net, reqs, 40, engine="reference")
+            fast = runner(net, reqs, 40, engine="fast")
+            assert fast.status == ref.status
+
+    def test_unknown_engine_rejected(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        with pytest.raises(ValidationError):
+            make_engine(net, GreedyPolicy(), engine="warp")
+
+    def test_env_var_resolution(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "fast")
+        assert resolve_engine_name() == "fast"
+        assert resolve_engine_name("reference") == "reference"  # arg wins
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        assert isinstance(make_engine(net, GreedyPolicy()), FastEngine)
+
+    def test_default_engine_setting(self):
+        try:
+            set_default_engine("fast")
+            assert resolve_engine_name() == "fast"
+        finally:
+            set_default_engine("reference")
+        with pytest.raises(ValidationError):
+            set_default_engine("warp")
+
+    def test_unsupported_policy_falls_back_to_reference(self):
+        class Custom(Policy):
+            def decide(self, node, t, candidates, network):
+                return Decision()
+
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        engine = make_engine(net, Custom(), engine="fast")
+        assert isinstance(engine, Simulator)
+        with pytest.raises(ValidationError):
+            FastEngine(net, Custom())
+
+    def test_trace_falls_back_to_reference(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        engine = make_engine(net, GreedyPolicy(), engine="fast", trace=True)
+        assert isinstance(engine, Simulator)
+        with pytest.raises(ValidationError):
+            FastEngine(net, GreedyPolicy(), trace=True)
+
+    def test_fast_engine_supports(self):
+        assert FastEngine.supports(GreedyPolicy("lifo"))
+        assert FastEngine.supports(NearestToGoPolicy())
+        assert not FastEngine.supports(object())

@@ -85,6 +85,26 @@ class TestBasicDelivery:
         assert res.status[9] == DeliveryStatus.LATE
         assert res.stats.late == 1 and res.throughput == 0
 
+    def test_late_delivery_recorded_in_delivery_times(self):
+        """Latency metrics must see late packets too; only ``throughput``
+        is restricted to on-time deliveries."""
+        net = LineNetwork(6, buffer_size=4, capacity=1)
+        # five packets contend for one link; the back of the queue is late
+        reqs = [Request.line(0, 3, 0, deadline=4, rid=100 + i) for i in range(5)]
+        sim = Simulator(net, ForwardAll())
+        res = sim.run(reqs, 40)
+        assert res.stats.late > 0 and res.stats.delivered > 0
+        delivered_or_late = {
+            rid for rid, st in res.status.items()
+            if st in (DeliveryStatus.DELIVERED, DeliveryStatus.LATE)
+        }
+        assert set(res.stats.delivery_times) == delivered_or_late
+        late_rids = [r for r, st in res.status.items()
+                     if st == DeliveryStatus.LATE]
+        for rid in late_rids:
+            assert res.stats.delivery_times[rid] > 4  # past the deadline
+        assert res.throughput == res.stats.delivered  # unchanged objective
+
     def test_early_termination(self):
         net = LineNetwork(4, buffer_size=1, capacity=1)
         sim = Simulator(net, ForwardAll())
