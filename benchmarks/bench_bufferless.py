@@ -5,6 +5,10 @@ bench verifies equality with the exact optimum on small instances and a
 ratio of 1.0 against the max-flow bound across a size sweep.  Theorem 11's
 bufferless grid variant (B = 0, c >= 3 through the main deterministic
 machinery) is measured alongside.
+
+Ported to the :mod:`repro.api` Scenario layer; the exact-optimum check
+rebuilds the identical instance from the scenario (``build_instance``) so
+the declarative run and the oracle see the same requests.
 """
 
 from __future__ import annotations
@@ -12,59 +16,57 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.analysis.tables import format_table
-from repro.baselines.offline import offline_bound
-from repro.core.deterministic import DeterministicRouter
-from repro.core.deterministic.variants import BufferlessLineRouter
-from repro.network.topology import LineNetwork
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run, run_batch
 from repro.packing.exact import exact_opt_small
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
 
 
 def run_prop12_exact_check():
-    rows = []
-    net = LineNetwork(7, buffer_size=0, capacity=1)
-    matches = 0
     trials = 12
-    for rng in spawn_generators(5, trials):
-        reqs = uniform_requests(net, 6, 6, rng=rng)
-        plan = BufferlessLineRouter(net, 20).route(reqs)
-        exact, _ = exact_opt_small(net, reqs, 20)
-        matches += plan.throughput == exact
-    rows.append([net.n, trials, matches])
-    return rows
+    scenarios = [
+        Scenario(NetworkSpec("line", (7,), buffer_size=0, capacity=1),
+                 WorkloadSpec("uniform", {"num": 6, "horizon": 6}),
+                 "bufferless", horizon=20, seed=seed)
+        for seed in range(trials)
+    ]
+    matches = 0
+    for scenario in scenarios:
+        report = run(scenario)
+        net, reqs = scenario.build_instance()
+        exact, _ = exact_opt_small(net, reqs, scenario.horizon)
+        matches += report.throughput == exact
+    return [[7, trials, matches]]
 
 
 def run_prop12_sweep():
+    sizes, seeds = (16, 32, 64, 128), 3
+    scenarios = [
+        Scenario(NetworkSpec("line", (n,), buffer_size=0, capacity=1),
+                 WorkloadSpec("uniform", {"num": 2 * n, "horizon": n}),
+                 "bufferless", horizon=3 * n, seed=seed)
+        for n in sizes
+        for seed in range(seeds)
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for n in (16, 32, 64, 128):
-        net = LineNetwork(n, buffer_size=0, capacity=1)
-        horizon = 3 * n
-        ratios = []
-        for rng in spawn_generators(11, 3):
-            reqs = uniform_requests(net, 2 * n, n, rng=rng)
-            plan = BufferlessLineRouter(net, horizon).route(reqs)
-            bound = offline_bound(net, reqs, horizon)
-            ratios.append(bound / max(1, plan.throughput))
-        rows.append([n, 2 * n, sum(ratios) / len(ratios)])
+    for i, n in enumerate(sizes):
+        chunk = reports[i * seeds:(i + 1) * seeds]
+        rows.append([n, 2 * n, sum(r.ratio for r in chunk) / seeds])
     return rows
 
 
 def run_theorem11_grid():
-    from repro.network.topology import GridNetwork
-
-    rows = []
-    for side in (4, 6, 8):
-        net = GridNetwork((side, side), buffer_size=0, capacity=3)
-        horizon = 8 * side
-        reqs = uniform_requests(net, 3 * side * side, 2 * side, rng=side)
-        plan = DeterministicRouter(net, horizon).route(reqs)
-        bound = offline_bound(net, reqs, horizon)
-        rows.append([
-            f"{side}x{side}", len(reqs), bound,
-            bound / max(1, plan.throughput),
-        ])
-    return rows
+    scenarios = [
+        Scenario(NetworkSpec("grid", (side, side), buffer_size=0, capacity=3),
+                 WorkloadSpec("uniform",
+                              {"num": 3 * side * side, "horizon": 2 * side}),
+                 "det", horizon=8 * side, seed=side)
+        for side in (4, 6, 8)
+    ]
+    reports = run_batch(scenarios, workers=2)
+    return [
+        [f"{side}x{side}", r.requests, r.bound, r.ratio]
+        for side, r in zip((4, 6, 8), reports)
+    ]
 
 
 def test_prop12_ntg_equals_exact(once):

@@ -4,49 +4,55 @@ Measured ratio of Algorithm 1 on square grids with B = c = 3, uniform and
 dense-area traffic.  Theorem 10 predicts O(log^6 n); the reproduction
 checks the ratio stays polylog-flat as n quadruples while greedy degrades
 on the dense-area instance (perimeter-vs-area effect, Section 1.3).
+
+Ported to the :mod:`repro.api` Scenario layer (declarative runs through
+``run_batch``; greedy and det share instances by the seeding contract).
 """
 
 from __future__ import annotations
 
 from conftest import emit
 
-from repro.analysis.metrics import evaluate_plan
 from repro.analysis.tables import format_table
-from repro.baselines.greedy import run_greedy
-from repro.baselines.offline import offline_bound
-from repro.core.deterministic import DeterministicRouter
-from repro.network.topology import GridNetwork
-from repro.workloads.adversarial import dense_area_instance
-from repro.workloads.uniform import uniform_requests
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
 
 SIDES = (4, 6, 8)
 
 
+def _grid(side: int) -> NetworkSpec:
+    return NetworkSpec("grid", (side, side), buffer_size=3, capacity=3)
+
+
 def run_grid_sweep():
-    rows = []
-    for side in SIDES:
-        net = GridNetwork((side, side), buffer_size=3, capacity=3)
-        horizon = 10 * side
-        reqs = uniform_requests(net, 4 * side * side, 3 * side, rng=side)
-        plan = DeterministicRouter(net, horizon).route(reqs)
-        ev = evaluate_plan(net, plan, reqs, horizon)
-        rows.append([f"{side}x{side}", len(reqs), ev.bound, ev.ratio])
-    return rows
+    scenarios = [
+        Scenario(_grid(side),
+                 WorkloadSpec("uniform",
+                              {"num": 4 * side * side, "horizon": 3 * side}),
+                 "det", horizon=10 * side, seed=side)
+        for side in SIDES
+    ]
+    reports = run_batch(scenarios, workers=2)
+    return [
+        [f"{side}x{side}", r.requests, r.bound, r.ratio]
+        for side, r in zip(SIDES, reports)
+    ]
 
 
 def run_dense_area_sweep():
+    scenarios = [
+        Scenario(_grid(side),
+                 WorkloadSpec("dense-area",
+                              {"area_side": max(2, side // 2), "per_node": 4}),
+                 algo, horizon=10 * side)
+        for side in SIDES
+        for algo in ("det", "greedy")
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for side in SIDES:
-        net = GridNetwork((side, side), buffer_size=3, capacity=3)
-        horizon = 10 * side
-        reqs = dense_area_instance(net, area_side=max(2, side // 2), per_node=4)
-        bound = offline_bound(net, reqs, horizon)
-        plan = DeterministicRouter(net, horizon).route(reqs)
-        g = run_greedy(net, reqs, horizon).throughput
-        rows.append([
-            f"{side}x{side}", len(reqs), bound,
-            bound / max(1, plan.throughput), bound / max(1, g),
-        ])
+    for i, side in enumerate(SIDES):
+        det, greedy = reports[2 * i], reports[2 * i + 1]
+        rows.append([f"{side}x{side}", det.requests, det.bound,
+                     det.ratio, greedy.ratio])
     return rows
 
 

@@ -6,58 +6,63 @@ greedy on the same instances for contrast.  The theorem predicts a
 polylog(n) ratio; the reproducible *shape* is that the deterministic
 algorithm's ratio grows much slower than greedy's sqrt(n)-type growth on
 the adversarial instances.
+
+Ported to the :mod:`repro.api` Scenario layer: every run is a declarative
+``Scenario`` executed by ``run_batch``; instances are shared across
+algorithms by the seeding contract (same network/workload/seed => same
+requests).
 """
 
 from __future__ import annotations
 
 from conftest import emit
 
-from repro.analysis.metrics import evaluate_plan
 from repro.analysis.tables import format_table
-from repro.baselines.greedy import run_greedy
-from repro.baselines.offline import offline_bound
-from repro.core.deterministic import DeterministicRouter
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.adversarial import clogging_instance
-from repro.workloads.uniform import uniform_requests
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
 
 SIZES = (16, 32, 64)
 SEEDS = 3
 
 
+def _line(n: int) -> NetworkSpec:
+    return NetworkSpec("line", (n,), buffer_size=3, capacity=3)
+
+
 def run_uniform_sweep():
+    scenarios = [
+        Scenario(_line(n), WorkloadSpec("uniform", {"num": 3 * n, "horizon": n}),
+                 algo, horizon=4 * n, seed=seed)
+        for n in SIZES
+        for seed in range(SEEDS)
+        for algo in ("det", "greedy")
+    ]
+    reports = dict(zip(
+        ((s.network.dims[0], s.seed, s.algorithm.name) for s in scenarios),
+        run_batch(scenarios, workers=2),
+    ))
     rows = []
     for n in SIZES:
-        horizon = 4 * n
-        net = LineNetwork(n, buffer_size=3, capacity=3)
-        ratios, greedy_ratios = [], []
-        for rng in spawn_generators(17, SEEDS):
-            reqs = uniform_requests(net, 3 * n, n, rng=rng)
-            plan = DeterministicRouter(net, horizon).route(reqs)
-            ev = evaluate_plan(net, plan, reqs, horizon)
-            ratios.append(ev.ratio)
-            g = run_greedy(net, reqs, horizon).throughput
-            greedy_ratios.append(ev.bound / max(1, g))
-        rows.append([
-            n, 3 * n,
-            sum(ratios) / len(ratios),
-            sum(greedy_ratios) / len(greedy_ratios),
-        ])
+        det = [reports[(n, s, "det")].ratio for s in range(SEEDS)]
+        greedy = [reports[(n, s, "greedy")].ratio for s in range(SEEDS)]
+        rows.append([n, 3 * n, sum(det) / len(det), sum(greedy) / len(greedy)])
     return rows
 
 
 def run_adversarial_sweep():
+    scenarios = [
+        Scenario(_line(n),
+                 WorkloadSpec("clogging",
+                              {"duration": n // 2, "shorts_per_node": 3}),
+                 algo, horizon=5 * n)
+        for n in SIZES
+        for algo in (AlgorithmSpec("det"),
+                     AlgorithmSpec("greedy", {"priority": "longest"}))
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for n in SIZES:
-        horizon = 5 * n
-        net = LineNetwork(n, buffer_size=3, capacity=3)
-        reqs = clogging_instance(net, duration=n // 2, shorts_per_node=3)
-        bound = offline_bound(net, reqs, horizon)
-        plan = DeterministicRouter(net, horizon).route(reqs)
-        det_ratio = bound / max(1, plan.throughput)
-        g = run_greedy(net, reqs, horizon, priority="longest").throughput
-        rows.append([n, len(reqs), bound, det_ratio, bound / max(1, g)])
+    for i, n in enumerate(SIZES):
+        det, greedy = reports[2 * i], reports[2 * i + 1]
+        rows.append([n, det.requests, det.bound, det.ratio, greedy.ratio])
     return rows
 
 

@@ -8,20 +8,23 @@ hardest classical setting, B = c = 1), generates random traffic, and runs:
 * the greedy and nearest-to-go baselines,
 * the offline max-flow upper bound,
 
-then prints a small scoreboard.  Everything is seeded and reproducible.
+then prints a small scoreboard.  Everything flows through the declarative
+``repro.api`` Scenario layer: each run is a frozen spec (network x
+workload x algorithm x horizon x seed) that serializes to JSON, executes
+deterministically, and fans out over a process pool -- the same objects
+``python -m repro route --spec file.json`` and the bench suite consume.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    LineNetwork,
-    RandomizedLineRouter,
-    execute_plan,
-    offline_bound,
-    run_greedy,
-    run_nearest_to_go,
+from repro.api import (
+    AlgorithmSpec,
+    NetworkSpec,
+    Scenario,
+    WorkloadSpec,
+    run,
+    run_batch,
 )
-from repro.workloads import uniform_requests
 
 N = 64
 HORIZON = 4 * N
@@ -29,44 +32,52 @@ SEED = 2011  # SPAA 2011
 
 
 def main() -> None:
-    net = LineNetwork(N, buffer_size=1, capacity=1)
-    requests = uniform_requests(net, num=3 * N, horizon=N, rng=SEED)
-    print(f"network: {net}")
-    print(f"requests: {len(requests)} over horizon {HORIZON}\n")
+    network = NetworkSpec("line", (N,), buffer_size=1, capacity=1)
+    workload = WorkloadSpec("uniform", {"num": 3 * N, "horizon": N})
 
-    # --- the paper's randomized algorithm -------------------------------
+    # --- declare the experiment: one Scenario per algorithm --------------
     # lam=0.5 uses a practical sparsification constant; omit it to get the
     # paper-exact lambda = 1/(200 k) (which rejects almost everything at
     # this scale -- see EXPERIMENTS.md E6).
-    router = RandomizedLineRouter(net, HORIZON, rng=SEED, lam=0.5)
-    plan = router.route(requests)
-    print(f"randomized router served class {plan.meta['class']!r} "
-          f"with phases {plan.meta['phases']}")
+    algorithms = [
+        AlgorithmSpec("rand", {"lam": 0.5}),
+        AlgorithmSpec("greedy"),
+        AlgorithmSpec("ntg"),
+    ]
+    scenarios = [
+        Scenario(network, workload, algo, horizon=HORIZON, seed=SEED)
+        for algo in algorithms
+    ]
+    print(f"network:  {network}")
+    print(f"workload: {workload} over horizon {HORIZON}")
+    print(f"running {len(scenarios)} scenarios (same instance for all, "
+          "by the seeding contract)\n")
 
-    # plans are space-time paths; replay them through the synchronous
-    # simulator to double-check feasibility and delivery times
-    result = execute_plan(net, plan.all_executable_paths(), requests, HORIZON)
-    assert plan.consistent_with_simulation(result)
+    # --- run them (run_batch shards over a process pool when asked;
+    # results are bit-identical to this serial run for any worker count)
+    reports = run_batch(scenarios)
 
-    # --- baselines -------------------------------------------------------
-    greedy = run_greedy(net, requests, HORIZON)
-    ntg = run_nearest_to_go(net, requests, HORIZON)
-    bound = offline_bound(net, requests, HORIZON)
-
-    print("\nscoreboard (delivered packets; bound is an offline relaxation):")
-    rows = [
-        ("offline bound", bound),
-        ("randomized (Thm 29)", plan.throughput),
-        ("greedy", greedy.throughput),
-        ("nearest-to-go", ntg.throughput),
+    print("scoreboard (delivered packets; bound is an offline relaxation):")
+    rows = [("offline bound", reports[0].bound)] + [
+        (str(r.scenario.algorithm), r.throughput) for r in reports
     ]
     for name, value in rows:
         print(f"  {name:22s} {value:8.1f}")
 
-    some_delivery = next(iter(result.stats.delivery_times.items()), None)
-    if some_delivery:
-        rid, t = some_delivery
-        print(f"\nexample delivery: request {rid} arrived at t = {t}")
+    best = max(reports, key=lambda r: r.throughput)
+    print(f"\nlatency of {best.scenario.algorithm.name}: "
+          f"mean {best.latency_mean:.1f} steps, worst {best.latency_max:.0f} "
+          f"(engine: {best.engine})")
+
+    # --- scenarios are data: JSON out, JSON in, identical results --------
+    text = scenarios[0].to_json()
+    replayed = run(Scenario.from_json(text))
+    assert replayed == reports[0]  # bit-identical (wall time excluded)
+    print(f"\nJSON round-trip of the {scenarios[0].algorithm.name!r} "
+          f"scenario reproduced throughput {replayed.throughput} exactly;")
+    print("save the spec below and rerun it with "
+          "`python -m repro route --spec <file>`:\n")
+    print(text)
 
 
 if __name__ == "__main__":

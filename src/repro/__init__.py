@@ -22,6 +22,9 @@ Layout
 * :mod:`repro.baselines` -- greedy and nearest-to-go.
 * :mod:`repro.workloads` -- synthetic and adversarial request generators.
 * :mod:`repro.analysis` -- competitive-ratio measurement harness.
+* :mod:`repro.api` -- the declarative Scenario layer: registries of
+  algorithms/workloads/topologies, JSON-round-trippable run specs, and
+  the batch runner every CLI command and bench sits on.
 """
 
 from repro.core import (
@@ -49,10 +52,20 @@ from repro.network import (
     execute_plan,
 )
 from repro.baselines import run_greedy, run_nearest_to_go, offline_bound
+from repro.api import (
+    AlgorithmSpec,
+    NetworkSpec,
+    RunReport,
+    Scenario,
+    WorkloadSpec,
+    run,
+    run_batch,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AlgorithmSpec",
     "BufferlessLineRouter",
     "DeterministicRouter",
     "FarPlusRouter",
@@ -62,16 +75,22 @@ __all__ = [
     "LineNetwork",
     "NearRouter",
     "Network",
+    "NetworkSpec",
     "Plan",
     "RandomizedLineRouter",
     "Request",
     "RouteOutcome",
     "Router",
+    "RunReport",
+    "Scenario",
     "SimulationResult",
     "Simulator",
     "SmallBufferLineRouter",
+    "WorkloadSpec",
     "execute_plan",
     "offline_bound",
+    "run",
+    "run_batch",
     "run_greedy",
     "run_nearest_to_go",
 ]

@@ -35,12 +35,16 @@ class ExperimentResult:
 
     @property
     def mean(self) -> float:
+        # nan (not inf) when no trial was finite, so empty/poisoned
+        # aggregates are distinguishable from genuinely divergent ratios
         finite = self._finite()
-        return float(np.mean(finite)) if finite else float("inf")
+        return float(np.mean(finite)) if finite else float("nan")
 
     @property
     def std(self) -> float:
         finite = self._finite()
+        if not finite:
+            return float("nan")
         return float(np.std(finite)) if len(finite) > 1 else 0.0
 
     @property

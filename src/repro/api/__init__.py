@@ -1,0 +1,106 @@
+"""repro.api: the declarative Scenario layer every consumer sits on.
+
+This package turns ``network x workload x algorithm x engine`` wiring
+into data.  Three registries (:data:`ALGORITHMS`, :data:`WORKLOADS`,
+:data:`TOPOLOGIES`) map names to implementations with capability
+metadata; a :class:`Scenario` is a frozen, JSON-round-trippable
+description of one run; :func:`run` executes a scenario into a
+:class:`RunReport` and :func:`run_batch` shards many scenarios over a
+process pool with bit-identical-to-serial results.
+
+Usage
+-----
+Run one scenario and inspect the report::
+
+    >>> from repro.api import Scenario, NetworkSpec, WorkloadSpec, run
+    >>> sc = Scenario(
+    ...     network=NetworkSpec("line", (32,), buffer_size=2, capacity=2),
+    ...     workload=WorkloadSpec("uniform", {"num": 60, "horizon": 32}),
+    ...     algorithm="ntg",
+    ...     horizon=128,
+    ...     seed=7,
+    ... )
+    >>> report = run(sc)
+    >>> report.throughput <= report.requests
+    True
+
+Scenarios serialize to JSON and back without losing anything that
+affects results (``python -m repro route --spec file.json`` runs the
+same file)::
+
+    >>> sc2 = Scenario.from_json(sc.to_json())
+    >>> run(sc2) == report          # wall_time excluded from equality
+    True
+
+Fan a matrix out over a process pool -- same numbers as the serial
+loop, per the PR-1 seeding contract::
+
+    >>> from repro.api import run_batch
+    >>> grid = [sc.replace(seed=s) for s in range(4)]
+    >>> [r.throughput for r in run_batch(grid, workers=4)] == \\
+    ...     [r.throughput for r in run_batch(grid)]
+    True
+
+Register a new algorithm (here: a planning router) from its home
+module and every CLI command, bench, and sweep can name it::
+
+    @register_algorithm(
+        "my-router",
+        requires=lambda net, horizon: None if net.d == 1 else "line only",
+        supports_fast_engine=True,
+    )
+    def _run_my_router(network, requests, horizon, *, rng=None,
+                       engine=None):
+        ...
+"""
+
+from repro.api.registry import (
+    ALGORITHMS,
+    TOPOLOGIES,
+    WORKLOADS,
+    Registry,
+    RegistryEntry,
+    algorithm_names,
+    ensure_providers,
+    planner_adapter,
+    register_algorithm,
+    register_topology,
+    register_workload,
+    topology_names,
+    workload_names,
+)
+from repro.api.spec import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec
+from repro.api.run import (
+    RunReport,
+    ScenarioError,
+    load_scenarios,
+    run,
+    run_batch,
+    unavailable_reason,
+)
+
+__all__ = [
+    "ALGORITHMS",
+    "AlgorithmSpec",
+    "NetworkSpec",
+    "Registry",
+    "RegistryEntry",
+    "RunReport",
+    "Scenario",
+    "ScenarioError",
+    "TOPOLOGIES",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "algorithm_names",
+    "ensure_providers",
+    "load_scenarios",
+    "planner_adapter",
+    "register_algorithm",
+    "register_topology",
+    "register_workload",
+    "run",
+    "run_batch",
+    "topology_names",
+    "unavailable_reason",
+    "workload_names",
+]

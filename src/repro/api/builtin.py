@@ -1,0 +1,25 @@
+"""Built-in topology registrations.
+
+Topologies are registered here rather than in
+:mod:`repro.network.topology` so that the network substrate keeps zero
+knowledge of the API layer (everything else -- algorithms, workloads --
+registers itself in its home module, one import level further up).
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import register_topology
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.util.errors import ValidationError
+
+
+@register_topology("line", description="uni-directional line 0 -> 1 -> ... -> n-1")
+def _build_line(dims, buffer_size, capacity):
+    if len(dims) != 1:
+        raise ValidationError(f"line topology takes one dimension, got {dims}")
+    return LineNetwork(dims[0], buffer_size=buffer_size, capacity=capacity)
+
+
+@register_topology("grid", description="uni-directional d-dimensional grid")
+def _build_grid(dims, buffer_size, capacity):
+    return GridNetwork(dims, buffer_size=buffer_size, capacity=capacity)

@@ -1,0 +1,248 @@
+"""Execute :class:`~repro.api.spec.Scenario` objects, serially or batched.
+
+:func:`run` materializes the scenario (network, requests), dispatches to
+the registered algorithm, replays/validates through the selected
+simulation engine, computes the offline bound, and returns a
+:class:`RunReport` -- the self-describing result record every CLI command
+and bench prints from.
+
+:func:`run_batch` is the fan-out primitive: it shards whole scenarios over
+a process pool (the same machinery as ``analysis.runner.sweep``).  Because
+every scenario derives all of its randomness from its own ``(seed,
+digest)`` -- see :mod:`repro.api.spec` -- batch output is bit-identical to
+the serial run for any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.api.registry import ALGORITHMS, WORKLOADS
+from repro.api.spec import Scenario
+from repro.network.engine import resolve_engine_name
+from repro.util.errors import ValidationError
+
+
+class ScenarioError(ValidationError):
+    """A scenario names an algorithm that cannot run on its network."""
+
+
+#: per-process memo of offline bounds keyed by (seed, instance key) --
+#: the bound is a pure function of the instance, and comparing k algorithms
+#: on one instance would otherwise recompute the same max-flow k times.
+#: Keys use the exact tuple, not the 32-bit digest (which is for seeding,
+#: not identity: a crc collision here would serve a wrong bound)
+_bound_cache: dict = {}
+
+
+def _instance_bound(scenario: Scenario, network, requests) -> float:
+    from repro.baselines.offline import offline_bound  # heavy; import late
+
+    key = (scenario.seed, scenario.instance_key())
+    value = _bound_cache.get(key)
+    if value is None:
+        value = float(offline_bound(network, requests, scenario.horizon))
+        if len(_bound_cache) > 4096:
+            _bound_cache.clear()
+        _bound_cache[key] = value
+    return value
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Self-describing outcome of one scenario run.
+
+    ``wall_time`` is excluded from equality so that reports from reruns
+    (or from serial-vs-pooled execution) compare bit-identical whenever
+    the measured quantities agree.
+    """
+
+    scenario: Scenario
+    requests: int
+    throughput: int
+    bound: float
+    late: int
+    rejected: int
+    preempted: int
+    latency_mean: float  # mean delivery latency (nan when nothing delivered)
+    latency_max: float  # worst delivery latency (nan when nothing delivered)
+    steps: int
+    engine: str  # engine actually used (after capability fallback)
+    wall_time: float = field(compare=False, default=0.0)
+
+    @property
+    def ratio(self) -> float:
+        """Competitive-ratio estimate ``bound / throughput``."""
+        if self.throughput > 0:
+            return self.bound / self.throughput
+        return math.inf if self.bound > 0 else 1.0
+
+    @property
+    def goodput(self) -> float:
+        """Fraction of the offline bound achieved."""
+        return self.throughput / self.bound if self.bound > 0 else 1.0
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario.to_dict(),
+            "requests": self.requests,
+            "throughput": self.throughput,
+            "bound": self.bound,
+            "ratio": self.ratio,
+            "late": self.late,
+            "rejected": self.rejected,
+            "preempted": self.preempted,
+            "latency_mean": self.latency_mean,
+            "latency_max": self.latency_max,
+            "steps": self.steps,
+            "engine": self.engine,
+            "wall_time": self.wall_time,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.scenario.algorithm} on {self.scenario.network}: "
+            f"throughput={self.throughput}/{self.requests} "
+            f"bound={self.bound:.1f} ratio={self.ratio:.3f} "
+            f"engine={self.engine} wall={self.wall_time:.3f}s"
+        )
+
+
+def unavailable_reason(scenario: Scenario, network=None) -> str | None:
+    """Capability check: why ``scenario`` cannot run (``None`` when it can).
+
+    Consults both the workload's and the algorithm's registered
+    requirements.  This is the registry-metadata replacement for
+    try/except ladders: consumers report ``"n/a (requires B, c >= 3)"``
+    rows without swallowing real bugs.
+    """
+    entry = ALGORITHMS.get(scenario.algorithm.name)
+    entry.validate_params(scenario.algorithm.kwargs())
+    if network is None:
+        network = scenario.network.build()
+    reason = WORKLOADS.get(scenario.workload.name).unavailable(
+        network, scenario.horizon)
+    if reason is not None:
+        return f"workload {scenario.workload.name!r} {reason}"
+    return entry.unavailable(network, scenario.horizon)
+
+
+def run(scenario: Scenario) -> RunReport:
+    """Run one scenario and measure it against the offline bound.
+
+    Raises :class:`ScenarioError` when the algorithm's registered
+    requirements are not met (use :func:`unavailable_reason` to pre-check),
+    and lets genuine algorithm bugs propagate.
+    """
+    t0 = time.perf_counter()
+    entry = ALGORITHMS.get(scenario.algorithm.name)
+    network = scenario.network.build()
+    reason = unavailable_reason(scenario, network)
+    if reason is not None:
+        raise ScenarioError(
+            f"{scenario.algorithm.name!r} on {scenario.network}: {reason}")
+    params = scenario.algorithm.kwargs()
+    _, requests = scenario.build_instance(network)
+    result = entry.fn(network, requests, scenario.horizon,
+                      rng=scenario.rngs()[1], engine=scenario.engine,
+                      **params)
+    bound = _instance_bound(scenario, network, requests)
+
+    arrivals = {r.rid: r.arrival for r in requests}
+    latencies = [t - arrivals[rid] for rid, t in result.stats.delivery_times.items()]
+    latency_mean = float(sum(latencies) / len(latencies)) if latencies else math.nan
+    latency_max = float(max(latencies)) if latencies else math.nan
+
+    # ground truth from the result itself: make_engine may have fallen
+    # back (unsupported policy, tracing), and metadata can be stale
+    engine = getattr(result, "engine", None) or resolve_engine_name(scenario.engine)
+
+    return RunReport(
+        scenario=scenario,
+        requests=len(requests),
+        throughput=result.throughput,
+        bound=float(bound),
+        late=result.stats.late,
+        rejected=result.stats.rejected,
+        preempted=result.stats.preempted,
+        latency_mean=latency_mean,
+        latency_max=latency_max,
+        steps=result.stats.steps,
+        engine=engine,
+        wall_time=time.perf_counter() - t0,
+    )
+
+
+def _run_chunk(scenarios) -> list:
+    """Run one worker's chunk serially; module-level so it pickles."""
+    return [run(s) for s in scenarios]
+
+
+def run_batch(scenarios, workers: int | None = None) -> list:
+    """Run many scenarios, optionally over a process pool.
+
+    Results come back in input order and are bit-identical to the serial
+    run for any ``workers`` (each scenario is self-seeded; no state is
+    shared across shards).  Scenarios must therefore be fully declarative
+    -- which :class:`Scenario` guarantees by construction.
+
+    Chunks never split a same-instance group: scenarios that differ only
+    in the algorithm land in one worker, so the per-process offline-bound
+    memo computes each instance's max-flow bound once instead of once per
+    algorithm.
+    """
+    scenarios = [
+        s if isinstance(s, Scenario) else Scenario.from_dict(s)
+        for s in scenarios
+    ]
+    if workers is None or workers <= 1 or len(scenarios) <= 1:
+        return [run(s) for s in scenarios]
+
+    groups: dict = {}  # (seed, instance digest) -> input indices
+    for i, scenario in enumerate(scenarios):
+        groups.setdefault((scenario.seed, scenario.instance_digest()),
+                          []).append(i)
+    target = max(1, len(scenarios) // (4 * workers))
+    chunks, current = [], []
+    for indices in groups.values():
+        current.extend(indices)
+        if len(current) >= target:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+
+    results = [None] * len(scenarios)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        chunk_results = pool.map(
+            _run_chunk, [[scenarios[i] for i in chunk] for chunk in chunks])
+        for chunk, reports in zip(chunks, chunk_results):
+            for i, report in zip(chunk, reports):
+                results[i] = report
+    return results
+
+
+def load_scenarios(path) -> list:
+    """Load scenarios from a JSON spec file.
+
+    Accepts a single scenario object, a list of scenarios, or a mapping
+    with a ``"scenarios"`` list -- so one format serves ``route --spec``
+    and ``sweep --spec`` alike.
+    """
+    import json
+    import pathlib
+
+    data = json.loads(pathlib.Path(path).read_text())
+    if isinstance(data, dict) and "scenarios" in data:
+        data = data["scenarios"]
+    if isinstance(data, dict):
+        data = [data]
+    if not isinstance(data, list) or not data:
+        raise ValidationError(
+            f"spec file {path} must hold a scenario object, a list of them, "
+            "or {'scenarios': [...]}"
+        )
+    return [Scenario.from_dict(item) for item in data]

@@ -15,6 +15,7 @@ scheme analysed by [AKK09]).
 
 from __future__ import annotations
 
+from repro.api.registry import register_algorithm
 from repro.network.engine import make_engine
 from repro.network.packet import Packet
 from repro.network.simulator import Decision, Policy, SimulationResult
@@ -82,3 +83,15 @@ def run_greedy(network: Network, requests, horizon: int,
     sim = make_engine(network, GreedyPolicy(priority), engine=engine,
                       trace=trace)
     return sim.run(requests, horizon)
+
+
+@register_algorithm(
+    "greedy",
+    description="work-conserving greedy forwarding ([AKOR03]); "
+    "'priority' picks the contention order (fifo/lifo/longest)",
+    supports_fast_engine=True,
+)
+def _greedy_scenario(network, requests, horizon, *, rng=None, engine=None,
+                     priority: str = "fifo"):
+    return run_greedy(network, requests, horizon, priority=priority,
+                      engine=engine)

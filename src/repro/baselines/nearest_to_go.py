@@ -10,6 +10,7 @@ interval packing of Section 5.2.1.
 
 from __future__ import annotations
 
+from repro.api.registry import register_algorithm
 from repro.baselines.greedy import one_bend_axis
 from repro.network.engine import make_engine
 from repro.network.simulator import Decision, Policy, SimulationResult
@@ -57,3 +58,13 @@ def run_nearest_to_go(network: Network, requests, horizon: int,
     sim = make_engine(network, NearestToGoPolicy(), engine=engine,
                       trace=trace)
     return sim.run(requests, horizon)
+
+
+@register_algorithm(
+    "ntg",
+    description="nearest-to-go: fewest remaining hops win contention "
+    "([AKOR03], [AKK09]); optimal on bufferless lines (Prop. 12)",
+    supports_fast_engine=True,
+)
+def _ntg_scenario(network, requests, horizon, *, rng=None, engine=None):
+    return run_nearest_to_go(network, requests, horizon, engine=engine)

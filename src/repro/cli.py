@@ -1,120 +1,325 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Small, scriptable entry points over the library:
+Small, scriptable entry points over the library, all driven by the
+:mod:`repro.api` Scenario layer -- algorithm and workload choices come
+from the registries, capability checks replace try/except ladders, and
+any run can be expressed as (or replayed from) a JSON scenario spec:
 
 * ``demo``    -- the quickstart scoreboard on a line;
-* ``route``   -- run one algorithm on a generated workload, print stats;
+* ``route``   -- run one algorithm (or a ``--spec`` file), print stats;
 * ``compare`` -- algorithms side by side on the same instance;
+* ``sweep``   -- run a batch of scenarios from a spec file, optionally
+  over a process pool (``--workers``);
 * ``figures`` -- the paper's figures as ASCII art.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import math
 import sys
 
 from repro.analysis.tables import format_table
-from repro.baselines.greedy import run_greedy
-from repro.baselines.nearest_to_go import run_nearest_to_go
-from repro.baselines.offline import offline_bound
-from repro.core.deterministic import DeterministicRouter
-from repro.core.deterministic.variants import BufferlessLineRouter, LargeCapacityRouter
-from repro.core.randomized import RandomizedLineRouter
-from repro.network.simulator import execute_plan
-from repro.network.topology import GridNetwork, LineNetwork
-from repro.workloads import clogging_instance, uniform_requests
+from repro.util.errors import ValidationError
+from repro.api import (
+    ALGORITHMS,
+    WORKLOADS,
+    AlgorithmSpec,
+    NetworkSpec,
+    Scenario,
+    WorkloadSpec,
+    algorithm_names,
+    load_scenarios,
+    run,
+    run_batch,
+    unavailable_reason,
+    workload_names,
+)
 
-ALGORITHMS = ("det", "rand", "greedy", "ntg", "bufferless", "theorem13")
+#: single source of truth for the common flag defaults (build_parser and
+#: the ignored-flag warnings both read it, so the two cannot drift)
+_COMMON_DEFAULTS = {
+    "dims": "32",
+    "B": 3,
+    "c": 3,
+    "requests": 100,
+    "arrival_window": 32,
+    "horizon": 128,
+    "workload": "uniform",
+    "seed": 0,
+}
+
+#: (flag, args attribute, generator parameter it maps onto)
+_WORKLOAD_FLAGS = (
+    ("--requests", "requests", "num"),
+    ("--arrival-window", "arrival_window", "horizon"),
+)
+
+#: practical parameter defaults the CLI applies to registered algorithms --
+#: the paper-exact sparsification lambda = 1/(200 k) rejects nearly
+#: everything at CLI scale (see bench E6); override via --algorithm-arg
+_ALGO_CLI_DEFAULTS = {
+    "rand": (("lam", 0.5),),
+    "rand-large-buffers": (("lam", 0.5),),
+    "rand-small-buffers": (("lam", 0.5),),
+}
+
+#: flags that cannot override a --spec file (scenarios are self-contained)
+_SPEC_FIXED_FLAGS = (
+    ("--dims", "dims"),
+    ("-B", "B"),
+    ("-c", "c"),
+    ("--requests", "requests"),
+    ("--arrival-window", "arrival_window"),
+    ("--horizon", "horizon"),
+    ("--workload", "workload"),
+    ("--seed", "seed"),
+)
 
 
-def _build_network(args):
-    dims = [int(x) for x in str(args.dims).split("x")]
-    if len(dims) == 1:
-        return LineNetwork(dims[0], buffer_size=args.B, capacity=args.c)
-    return GridNetwork(tuple(dims), buffer_size=args.B, capacity=args.c)
+def _parse_kv(item: str, flag: str) -> tuple:
+    key, sep, raw = item.partition("=")
+    if not sep:
+        raise SystemExit(f"{flag} expects KEY=VALUE, got {item!r}")
+    try:
+        return key, json.loads(raw)
+    except json.JSONDecodeError:
+        return key, raw
 
 
-def _build_workload(net, args):
-    if args.workload == "uniform":
-        return uniform_requests(net, args.requests, args.arrival_window, rng=args.seed)
+def _algorithm_spec(args, name: str) -> AlgorithmSpec:
+    """Build the AlgorithmSpec, applying only parameters ``name`` accepts.
+
+    ``compare``/``demo`` pass one ``--algorithm-arg`` list to several
+    algorithms; each takes what it understands (with a warning for the
+    rest) instead of aborting the whole command.
+    """
+    entry = ALGORITHMS.get(name)
+    params = {k: v for k, v in _ALGO_CLI_DEFAULTS.get(name, ())
+              if k in entry.params}
+    ignored = []
+    for item in getattr(args, "algorithm_arg", None) or ():
+        key, value = _parse_kv(item, "--algorithm-arg")
+        if key in entry.params:
+            params[key] = value
+        else:
+            ignored.append(key)
+    if ignored:
+        print(
+            f"warning: algorithm {name!r} ignores --algorithm-arg "
+            f"{', '.join(ignored)} (it accepts: {sorted(entry.params)})",
+            file=sys.stderr,
+        )
+    return AlgorithmSpec(name, params)
+
+
+def _warn_spec_overrides(args) -> None:
+    """``--spec`` scenarios are self-contained; report flags they ignore."""
+    ignored = [flag for flag, attr in _SPEC_FIXED_FLAGS
+               if getattr(args, attr) != _COMMON_DEFAULTS[attr]]
+    if args.workload_arg:
+        ignored.append("--workload-arg")
+    if getattr(args, "algorithm_arg", None):
+        ignored.append("--algorithm-arg")
+    if ignored:
+        print(
+            f"warning: --spec scenarios are self-contained; ignoring "
+            f"{', '.join(ignored)} (only --engine overrides a spec)",
+            file=sys.stderr,
+        )
+
+
+def _workload_spec(args, network: NetworkSpec) -> WorkloadSpec:
+    """Map CLI flags onto the registered generator's parameters.
+
+    Flags the generator does not accept are *reported*, not silently
+    dropped (the pre-registry CLI lost ``--requests``/``--arrival-window``
+    /``--seed`` on the clogging workload without a word).
+    """
+    entry = WORKLOADS.get(args.workload)
+    params: dict = {}
     if args.workload == "clogging":
-        return clogging_instance(net, duration=net.n // 2)
-    raise SystemExit(f"unknown workload {args.workload!r}")
+        # preserve the pre-registry CLI's instance shape (duration = n/2;
+        # the generator's own default is a full-length n stream)
+        params["duration"] = math.prod(network.dims) // 2
+    ignored = []
+    for flag, attr, param in _WORKLOAD_FLAGS:
+        value = getattr(args, attr)
+        if param in entry.params:
+            params[param] = value
+        elif value != _COMMON_DEFAULTS[attr]:
+            ignored.append(flag)
+    for item in args.workload_arg or ():
+        key, value = _parse_kv(item, "--workload-arg")
+        params[key] = value
+    if ignored:
+        print(
+            f"warning: the {args.workload!r} workload ignores "
+            f"{', '.join(ignored)} (it accepts: {sorted(entry.params)})",
+            file=sys.stderr,
+        )
+    if not entry.takes_rng and args.seed != 0:
+        print(
+            f"warning: the {args.workload!r} generator is deterministic; "
+            "--seed only affects randomized algorithms",
+            file=sys.stderr,
+        )
+    return WorkloadSpec(args.workload, params)
 
 
-def _run_algorithm(name, net, reqs, horizon, seed, engine=None):
-    if name == "greedy":
-        return run_greedy(net, reqs, horizon, engine=engine).throughput
-    if name == "ntg":
-        return run_nearest_to_go(net, reqs, horizon, engine=engine).throughput
-    if name == "det":
-        router = DeterministicRouter(net, horizon)
-    elif name == "rand":
-        router = RandomizedLineRouter(net, horizon, rng=seed, lam=0.5)
-    elif name == "bufferless":
-        router = BufferlessLineRouter(net, horizon)
-    elif name == "theorem13":
-        router = LargeCapacityRouter(net, horizon)
-    else:
-        raise SystemExit(f"unknown algorithm {name!r}")
-    plan = router.route(reqs)
-    result = execute_plan(net, plan.all_executable_paths(), reqs, horizon,
-                          engine=engine)
-    if not plan.consistent_with_simulation(result):
-        raise SystemExit("internal error: plan/simulation mismatch")
-    return plan.throughput
+def _scenario(args, algorithm: str) -> Scenario:
+    network = NetworkSpec.parse(args.dims, args.B, args.c)
+    return Scenario(
+        network=network,
+        workload=_workload_spec(args, network),
+        algorithm=_algorithm_spec(args, algorithm),
+        horizon=args.horizon,
+        seed=args.seed,
+        engine=args.engine,
+    )
+
+
+def _scoreboard_rows(scenarios, network) -> list:
+    """``[name, throughput | "n/a (reason)"]`` rows plus the bound row.
+
+    Capability checks from the registry decide the n/a rows; anything
+    else raised by a run is a genuine bug and propagates.
+    """
+    rows, bound = [], None
+    for scenario in scenarios:
+        reason = unavailable_reason(scenario, network)
+        if reason is not None:
+            rows.append([scenario.algorithm.name, f"n/a ({reason})"])
+            continue
+        report = run(scenario)
+        rows.append([scenario.algorithm.name, report.throughput])
+        bound = report.bound
+    if bound is None:  # every algorithm was unavailable
+        scenario = scenarios[0]
+        workload_ok = WORKLOADS.get(scenario.workload.name).unavailable(
+            network, scenario.horizon) is None
+        if workload_ok:
+            from repro.baselines.offline import offline_bound
+
+            _, requests = scenario.build_instance(network)
+            bound = offline_bound(network, requests, scenario.horizon)
+    rows.append(["offline bound", bound if bound is not None else "n/a"])
+    return rows
 
 
 def cmd_demo(args) -> int:
-    net = LineNetwork(args.n, buffer_size=args.B, capacity=args.c)
-    reqs = uniform_requests(net, 3 * args.n, args.n, rng=args.seed)
-    horizon = 4 * args.n
-    rows = []
-    for name in ("rand", "greedy", "ntg"):
-        try:
-            rows.append([name, _run_algorithm(name, net, reqs, horizon,
-                                              args.seed, engine=args.engine)])
-        except Exception as exc:  # e.g. det needs B, c >= 3
-            rows.append([name, f"n/a ({exc})"])
-    rows.append(["offline bound", offline_bound(net, reqs, horizon)])
-    print(format_table(["algorithm", "throughput"], rows,
-                       title=f"demo on {net} ({len(reqs)} requests)"))
+    net_spec = NetworkSpec("line", (args.n,), args.B, args.c)
+    workload = WorkloadSpec("uniform", {"num": 3 * args.n, "horizon": args.n})
+    network = net_spec.build()
+    scenarios = [
+        Scenario(net_spec, workload, _algorithm_spec(args, name),
+                 horizon=4 * args.n, seed=args.seed, engine=args.engine)
+        for name in ("rand", "greedy", "ntg")
+    ]
+    print(format_table(["algorithm", "throughput"],
+                       _scoreboard_rows(scenarios, network),
+                       title=f"demo on {network} ({workload})"))
     return 0
 
 
 def cmd_route(args) -> int:
-    net = _build_network(args)
-    reqs = _build_workload(net, args)
-    tput = _run_algorithm(args.algorithm, net, reqs, args.horizon, args.seed,
-                          engine=args.engine)
-    bound = offline_bound(net, reqs, args.horizon)
+    if args.spec:
+        if args.algorithm:
+            raise SystemExit("route: pass an algorithm or --spec, not both")
+        _warn_spec_overrides(args)
+        scenarios = load_scenarios(args.spec)
+        if len(scenarios) != 1:
+            raise SystemExit(
+                f"route --spec expects exactly one scenario, found "
+                f"{len(scenarios)} (use 'sweep --spec' for batches)"
+            )
+        scenario = scenarios[0]
+        if args.engine is not None:
+            scenario = scenario.replace(engine=args.engine)
+    elif args.algorithm:
+        scenario = _scenario(args, args.algorithm)
+    else:
+        raise SystemExit("route: an algorithm name or --spec is required")
+    report = run(scenario)
     print(format_table(
-        ["algorithm", "requests", "throughput", "bound", "ratio"],
-        [[args.algorithm, len(reqs), tput, bound, bound / max(1, tput)]],
-        title=f"{net}",
+        ["algorithm", "requests", "throughput", "bound", "ratio", "engine"],
+        [[scenario.algorithm.name, report.requests, report.throughput,
+          report.bound, report.ratio, report.engine]],
+        title=f"{scenario.network} / {scenario.workload}",
     ))
     return 0
 
 
 def cmd_compare(args) -> int:
-    net = _build_network(args)
-    reqs = _build_workload(net, args)
-    rows = []
-    for name in args.algorithms:
-        try:
-            tput = _run_algorithm(name, net, reqs, args.horizon, args.seed,
-                                  engine=args.engine)
-        except Exception as exc:
-            rows.append([name, f"n/a: {exc}"])
-            continue
-        rows.append([name, tput])
-    rows.append(["offline bound", offline_bound(net, reqs, args.horizon)])
-    print(format_table(["algorithm", "throughput"], rows, title=f"{net}"))
+    scenarios = [_scenario(args, name) for name in args.algorithms]
+    network = scenarios[0].network.build()
+    print(format_table(["algorithm", "throughput"],
+                       _scoreboard_rows(scenarios, network),
+                       title=f"{network}"))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    scenarios = load_scenarios(args.spec)
+    if args.engine is not None:
+        scenarios = [s.replace(engine=args.engine) for s in scenarios]
+    rows = [None] * len(scenarios)
+    runnable = []
+    for i, scenario in enumerate(scenarios):
+        reason = unavailable_reason(scenario)
+        if reason is not None:
+            rows[i] = [scenario.algorithm.name, str(scenario.network),
+                       str(scenario.workload), scenario.seed,
+                       f"n/a ({reason})", "", "", "", ""]
+        else:
+            runnable.append((i, scenario))
+    reports = run_batch([s for _, s in runnable], workers=args.workers)
+    for (i, scenario), report in zip(runnable, reports):
+        rows[i] = [scenario.algorithm.name, str(scenario.network),
+                   str(scenario.workload), scenario.seed, report.throughput,
+                   report.bound, report.ratio, report.engine,
+                   f"{report.wall_time:.3f}"]
+    print(format_table(
+        ["algorithm", "network", "workload", "seed", "throughput", "bound",
+         "ratio", "engine", "wall_s"],
+        rows,
+        title=f"sweep over {len(scenarios)} scenarios "
+              f"(workers={args.workers or 1})",
+    ))
+    return 0
+
+
+def cmd_list(args) -> int:
+    """Print the registries: what can be named in scenarios and flags."""
+    from repro.api import TOPOLOGIES
+
+    print(format_table(
+        ["algorithm", "fast engine", "description"],
+        [[e.name, "yes" if e.supports_fast_engine else "no", e.description]
+         for e in ALGORITHMS.entries()],
+        title="registered algorithms",
+    ))
+    print()
+    print(format_table(
+        ["workload", "parameters", "seeded", "description"],
+        [[e.name, " ".join(e.params), "yes" if e.takes_rng else "no",
+          e.description]
+         for e in WORKLOADS.entries()],
+        title="registered workloads",
+    ))
+    print()
+    print(format_table(
+        ["topology", "description"],
+        [[e.name, e.description] for e in TOPOLOGIES.entries()],
+        title="registered topologies",
+    ))
     return 0
 
 
 def cmd_figures(args) -> int:
     from repro.analysis.viz import render_spacetime, render_tile_quadrants
+    from repro.network.topology import LineNetwork
     from repro.spacetime.graph import SpaceTimeGraph, STPath
     from repro.spacetime.tiling import Tiling
 
@@ -147,28 +352,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-B", type=int, default=1)
     p.add_argument("-c", type=int, default=1)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--algorithm-arg", action="append", metavar="KEY=VALUE")
     p.add_argument("--engine", **engine_kwargs)
     p.set_defaults(fn=cmd_demo)
 
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--dims", default="32", help="e.g. 64 or 8x8")
-    common.add_argument("-B", type=int, default=3)
-    common.add_argument("-c", type=int, default=3)
-    common.add_argument("--requests", type=int, default=100)
-    common.add_argument("--arrival-window", type=int, default=32)
-    common.add_argument("--horizon", type=int, default=128)
-    common.add_argument("--workload", default="uniform",
-                        choices=("uniform", "clogging"))
-    common.add_argument("--seed", type=int, default=0)
+    common.add_argument("--dims", default=_COMMON_DEFAULTS["dims"],
+                        help="e.g. 64 or 8x8")
+    common.add_argument("-B", type=int, default=_COMMON_DEFAULTS["B"])
+    common.add_argument("-c", type=int, default=_COMMON_DEFAULTS["c"])
+    common.add_argument("--requests", type=int,
+                        default=_COMMON_DEFAULTS["requests"])
+    common.add_argument("--arrival-window", type=int,
+                        default=_COMMON_DEFAULTS["arrival_window"])
+    common.add_argument("--horizon", type=int,
+                        default=_COMMON_DEFAULTS["horizon"])
+    common.add_argument("--workload", default=_COMMON_DEFAULTS["workload"],
+                        choices=workload_names())
+    common.add_argument("--workload-arg", action="append", metavar="KEY=VALUE",
+                        help="extra generator parameter (repeatable); values "
+                        "parse as JSON scalars")
+    common.add_argument("--algorithm-arg", action="append", metavar="KEY=VALUE",
+                        help="extra algorithm parameter (repeatable), e.g. "
+                        "lam=0.1 or priority=longest")
+    common.add_argument("--seed", type=int, default=_COMMON_DEFAULTS["seed"])
     common.add_argument("--engine", **engine_kwargs)
 
-    p = sub.add_parser("route", parents=[common], help="run one algorithm")
-    p.add_argument("algorithm", choices=ALGORITHMS)
+    p = sub.add_parser("route", parents=[common],
+                       help="run one algorithm or a --spec file")
+    p.add_argument("algorithm", nargs="?", choices=algorithm_names())
+    p.add_argument("--spec", help="JSON scenario spec file")
     p.set_defaults(fn=cmd_route)
 
     p = sub.add_parser("compare", parents=[common], help="compare algorithms")
-    p.add_argument("algorithms", nargs="+", choices=ALGORITHMS)
+    p.add_argument("algorithms", nargs="+", choices=algorithm_names())
     p.set_defaults(fn=cmd_compare)
+
+    p = sub.add_parser("sweep", help="run a batch of scenarios from a spec")
+    p.add_argument("--spec", required=True, help="JSON scenario spec file")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool width (results are bit-identical to "
+                   "serial for any value)")
+    p.add_argument("--engine", **engine_kwargs)
+    p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser("list", help="registered algorithms/workloads/topologies")
+    p.set_defaults(fn=cmd_list)
 
     p = sub.add_parser("figures", help="paper figures as ASCII")
     p.set_defaults(fn=cmd_figures)
@@ -177,7 +406,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ValidationError as exc:
+        # invalid input (bad spec, unsatisfied workload params, topology
+        # mismatch): one clean line, not a traceback.  Only the
+        # invalid-input subclass is caught -- CapacityError/RoutingError
+        # and other ReproErrors indicate bugs and still propagate loudly
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

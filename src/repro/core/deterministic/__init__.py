@@ -15,6 +15,24 @@ Requiring one unit of capacity per track is why the algorithm needs
 ``B, c >= 3``.
 """
 
+from repro.api.registry import planner_adapter, register_algorithm
 from repro.core.deterministic.framework import DeterministicRouter
+from repro.core.deterministic import variants as _variants  # registers itself
 
 __all__ = ["DeterministicRouter"]
+
+
+def _det_requires(network, horizon) -> str | None:
+    B, c = network.buffer_size, network.capacity
+    if (B >= 3 and c >= 3) or (B == 0 and c >= 3):
+        return None
+    return "requires B, c >= 3 (or B = 0, c >= 3)"
+
+
+register_algorithm(
+    "det",
+    description="the deterministic algorithm (Algorithm 1, Sections 4-6); "
+    "polylog-competitive on lines and grids",
+    requires=_det_requires,
+    supports_fast_engine=True,  # plans replay on the fast engine
+)(planner_adapter(DeterministicRouter, "det"))

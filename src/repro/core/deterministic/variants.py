@@ -217,3 +217,41 @@ class LargeCapacityRouter(Router):
             "max_load_ratio": self.ipp.max_load_ratio(),
         }
         return plan
+
+
+# -- registry entries -------------------------------------------------------
+
+from repro.api.registry import planner_adapter, register_algorithm  # noqa: E402
+
+
+def _bufferless_requires(network, horizon) -> str | None:
+    if network.d != 1:
+        return "targets lines (d = 1)"
+    if network.buffer_size != 0:
+        return "requires B = 0 (bufferless)"
+    return None
+
+
+def _theorem13_requires(network, horizon) -> str | None:
+    B, c = network.buffer_size, network.capacity
+    k = network.tile_side_k()
+    if B < k or c < k:
+        return f"Theorem 13 requires B, c >= k = {k}"
+    return None
+
+
+register_algorithm(
+    "bufferless",
+    description="optimal planner for B = 0 lines via per-diagonal online "
+    "interval packing (Proposition 12)",
+    requires=_bufferless_requires,
+    supports_fast_engine=True,
+)(planner_adapter(BufferlessLineRouter, "bufferless"))
+
+register_algorithm(
+    "theorem13",
+    description="Theorem 13: IPP on the space-time graph with capacities "
+    "scaled by the tile side k (needs B, c >= k)",
+    requires=_theorem13_requires,
+    supports_fast_engine=True,
+)(planner_adapter(LargeCapacityRouter, "theorem13"))

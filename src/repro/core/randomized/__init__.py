@@ -9,6 +9,9 @@ routing (I-, T- and X-routing); Near requests are routed greedily along a
 vertical (transmit-every-step) path.  The algorithm is non-preemptive.
 """
 
+import math
+
+from repro.api.registry import planner_adapter, register_algorithm
 from repro.core.randomized.combined import RandomizedLineRouter
 from repro.core.randomized.far_plus import FarPlusRouter
 from repro.core.randomized.near import NearRouter
@@ -24,3 +27,63 @@ __all__ = [
     "RandomizedParams",
     "SmallBufferLineRouter",
 ]
+
+
+def _logn(network) -> float:
+    return max(1.0, math.log2(network.n))
+
+
+def _rand_requires(network, horizon) -> str | None:
+    if network.d != 1:
+        return "targets lines (d = 1)"
+    B, c = network.buffer_size, network.capacity
+    logn = _logn(network)
+    if B < 1:
+        return "requires B >= 1"
+    if B > logn or c > logn:
+        return f"Definition 15 covers B, c in [1, log n = {logn:.1f}]"
+    return None
+
+
+def _rand_large_requires(network, horizon) -> str | None:
+    if network.d != 1:
+        return "targets lines (d = 1)"
+    B, c = network.buffer_size, network.capacity
+    if B < _logn(network) * c:
+        return f"Section 7.7 requires B/c >= log n = {_logn(network):.1f}"
+    return None
+
+
+def _rand_small_requires(network, horizon) -> str | None:
+    if network.d != 1:
+        return "targets lines (d = 1)"
+    B, c = network.buffer_size, network.capacity
+    logn = _logn(network)
+    if B > logn or c < logn:
+        return f"Section 7.8 requires B <= log n <= c (log n = {logn:.1f})"
+    return None
+
+
+register_algorithm(
+    "rand",
+    description="the randomized O(log n) classify-and-select algorithm "
+    "(Theorem 29; B, c in [1, log n])",
+    requires=_rand_requires,
+    supports_fast_engine=True,
+)(planner_adapter(RandomizedLineRouter, "rand", takes_rng=True))
+
+register_algorithm(
+    "rand-large-buffers",
+    description="Theorem 30 regime: B/c >= log n (half-tile horizontal "
+    "I-routing, Section 7.7)",
+    requires=_rand_large_requires,
+    supports_fast_engine=True,
+)(planner_adapter(LargeBufferLineRouter, "rand-large-buffers", takes_rng=True))
+
+register_algorithm(
+    "rand-small-buffers",
+    description="Theorem 31 regime: B <= log n <= c (column slivers, "
+    "Section 7.8)",
+    requires=_rand_small_requires,
+    supports_fast_engine=True,
+)(planner_adapter(SmallBufferLineRouter, "rand-small-buffers", takes_rng=True))

@@ -177,7 +177,8 @@ class FastEngine:
             network.check_request(r)
         n = len(reqs)
         if n == 0:
-            return SimulationResult(stats=stats, status={}, trace=self.trace)
+            return SimulationResult(stats=stats, status={}, trace=self.trace,
+                                    engine="fast")
 
         src = np.array([r.source for r in reqs], dtype=np.int64)
         dst = np.array([r.dest for r in reqs], dtype=np.int64)
@@ -281,7 +282,8 @@ class FastEngine:
         }
         for i in np.flatnonzero(delivered_t >= 0):
             stats.delivery_times[int(rid[i])] = int(delivered_t[i])
-        return SimulationResult(stats=stats, status=status, trace=self.trace)
+        return SimulationResult(stats=stats, status=status, trace=self.trace,
+                                engine="fast")
 
     # -- per-step decision kernels ---------------------------------------
 

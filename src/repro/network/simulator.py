@@ -56,11 +56,17 @@ class Policy:
 
 @dataclass
 class SimulationResult:
-    """Outcome of a run: per-request statuses plus aggregate stats."""
+    """Outcome of a run: per-request statuses plus aggregate stats.
+
+    ``engine`` names the implementation that actually produced the result
+    (``"reference"`` or ``"fast"``) -- the ground truth for reporting,
+    since :func:`~repro.network.engine.make_engine` may fall back.
+    """
 
     stats: NetworkStats
     status: dict  # rid -> DeliveryStatus
     trace: TraceRecorder
+    engine: str = "reference"
 
     @property
     def throughput(self) -> int:
@@ -197,7 +203,8 @@ class Simulator:
             elif st == DeliveryStatus.INJECTED:
                 status[rid] = DeliveryStatus.PREEMPTED
                 stats.preempted += 1
-        return SimulationResult(stats=stats, status=status, trace=self.trace)
+        return SimulationResult(stats=stats, status=status, trace=self.trace,
+                                engine="reference")
 
     def _validate_decision(self, node, candidates, decision, B, c) -> None:
         cand_ids = {id(p) for p in candidates}

@@ -23,11 +23,18 @@ from dataclasses import dataclass, field
 
 @dataclass(frozen=True, order=True)
 class Interval:
-    """An open interval ``(lo, hi)`` tagged with an owner id."""
+    """An open interval ``(lo, hi)`` tagged with an owner id.
+
+    ``owner`` participates in equality: two requests can hold
+    identical-bounds intervals at different times on the same line, and
+    owner-blind equality once let a victim's cleanup delete the
+    *preemptor's* freshly accepted interval (leaving its committed moves
+    on the line with no reservation -- a capacity violation downstream).
+    """
 
     lo: int
     hi: int
-    owner: int = field(default=-1, compare=False)
+    owner: int = field(default=-1)
 
     def __post_init__(self):
         if self.hi <= self.lo:

@@ -22,12 +22,27 @@
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.network.packet import Request
 from repro.network.topology import GridNetwork, LineNetwork, Network
 from repro.util.errors import ValidationError
 from repro.util.rng import as_generator
 
 
+def _line_only(network, horizon) -> str | None:
+    return None if network.d == 1 else "targets lines (d = 1)"
+
+
+def _grid2d_only(network, horizon) -> str | None:
+    return None if network.d == 2 else "targets 2-d grids"
+
+
+@register_workload(
+    "clogging",
+    description="[AKOR03]-style greedy killer on a line: a long saturating "
+    "stream plus per-node one-hop packets (deterministic)",
+    requires=_line_only,
+)
 def clogging_instance(network: LineNetwork, duration: int | None = None,
                       shorts_per_node: int | None = None) -> list:
     """Long-stream-plus-shorts greedy killer on a line.
@@ -54,6 +69,12 @@ def clogging_instance(network: LineNetwork, duration: int | None = None,
     return out
 
 
+@register_workload(
+    "distance-cascade",
+    description="geometric distance classes: serving a longer class blocks "
+    "geometrically many shorter ones",
+    requires=_line_only,
+)
 def distance_cascade_instance(network: LineNetwork, rng=None,
                               per_class: int | None = None) -> list:
     """Geometric distance classes: 2^j-hop packets, injected at multiples
@@ -74,6 +95,11 @@ def distance_cascade_instance(network: LineNetwork, rng=None,
     return out
 
 
+@register_workload(
+    "dense-area",
+    description="a low-corner box floods the far corner: volume-vs-perimeter "
+    "obstruction (Section 1.3, deterministic)",
+)
 def dense_area_instance(network: Network, area_side: int, per_node: int,
                         t0: int = 0) -> list:
     """All nodes of the low-corner ``area_side``-box inject ``per_node``
@@ -95,6 +121,12 @@ def dense_area_instance(network: Network, area_side: int, per_node: int,
     return out
 
 
+@register_workload(
+    "crossfire",
+    description="row and column streams crossing in the centre of a 2-d grid "
+    "([AKK09] n^{2/3} regime)",
+    requires=_grid2d_only,
+)
 def grid_crossfire_instance(network: GridNetwork, width: int | None = None,
                             rng=None) -> list:
     """Row streams and column streams crossing in the centre of a 2-d grid

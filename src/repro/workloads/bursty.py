@@ -9,11 +9,17 @@ control from greedy behaviour.
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.network.packet import Request
 from repro.network.topology import Network
 from repro.util.rng import as_generator
 
 
+@register_workload(
+    "bursty",
+    description="bursts at random (node, time) hotspots (dense-area regime, "
+    "Section 1.3)",
+)
 def bursty_requests(network: Network, bursts: int, burst_size: int,
                     horizon: int, rng=None, spread: int = 0) -> list:
     """``bursts`` bursts at random (node, time) hotspots; each burst emits

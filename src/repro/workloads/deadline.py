@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.network.packet import Request
 from repro.network.topology import Network
 from repro.util.rng import as_generator
@@ -25,6 +26,11 @@ def with_deadlines(requests, slack: int, rng=None, jitter: int = 0) -> list:
     return out
 
 
+@register_workload(
+    "deadline",
+    description="uniform requests with feasible deadlines arrival + distance "
+    "+ slack (+- jitter)",
+)
 def deadline_requests(network: Network, num: int, horizon: int, slack: int,
                       rng=None, jitter: int = 0) -> list:
     """Uniform requests with feasible deadlines of the given slack."""

@@ -7,11 +7,17 @@ second half, all injected in a short window.
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.network.packet import Request
 from repro.network.topology import Network
 from repro.util.rng import as_generator
 
 
+@register_workload(
+    "permutation",
+    description="low-half sources send to a random permutation of high-half "
+    "targets, one permutation per round",
+)
 def permutation_requests(network: Network, rng=None, window: int = 1,
                          rounds: int = 1) -> list:
     """For each round, sources in the "low" half of the grid send to a

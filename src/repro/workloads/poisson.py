@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.network.packet import Request
 from repro.network.topology import Network
 from repro.util.rng import as_generator
 
 
+@register_workload(
+    "poisson",
+    description="Poisson(rate) arrivals per step (open-loop load model)",
+)
 def poisson_requests(network: Network, rate: float, horizon: int, rng=None,
                      max_requests: int | None = None) -> list:
     """Per time step, a Poisson(``rate``) number of requests arrive, each

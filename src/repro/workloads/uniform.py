@@ -2,11 +2,17 @@
 
 from __future__ import annotations
 
+from repro.api.registry import register_workload
 from repro.network.packet import Request
 from repro.network.topology import Network
 from repro.util.rng import as_generator
 
 
+@register_workload(
+    "uniform",
+    description="num requests with uniform source, dominating destination, "
+    "and arrival in [0, horizon]",
+)
 def uniform_requests(network: Network, num: int, horizon: int, rng=None,
                      min_distance: int = 1) -> list:
     """``num`` requests with uniformly random source, destination

@@ -94,6 +94,17 @@ class TestRunner:
         r.add(math.inf)
         assert math.isnan(r.best) and math.isnan(r.worst)
 
+    def test_all_nonfinite_mean_and_std_are_nan(self):
+        # regression: mean used to report inf (and std 0.0) when *every*
+        # trial was non-finite, which made a fully-poisoned aggregate look
+        # like a clean divergent one
+        r = ExperimentResult("x")
+        r.add(math.inf)
+        r.add(math.nan)
+        assert math.isnan(r.mean) and math.isnan(r.std)
+        empty = ExperimentResult("empty")
+        assert math.isnan(empty.mean) and math.isnan(empty.std)
+
     def test_run_trials_deterministic(self):
         a = run_trials(lambda rng: float(rng.integers(0, 100)), 5, base_seed=1)
         b = run_trials(lambda rng: float(rng.integers(0, 100)), 5, base_seed=1)

@@ -1,7 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro.api import algorithm_names, workload_names
 from repro.cli import build_parser, main
 
 
@@ -33,6 +36,16 @@ class TestParser:
     def test_unknown_engine_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["route", "greedy", "--engine", "warp"])
+
+    def test_choices_come_from_registries(self):
+        # every registered algorithm/workload is reachable without touching
+        # the CLI (no hardcoded tuples)
+        for name in algorithm_names():
+            args = build_parser().parse_args(["route", name])
+            assert args.algorithm == name
+        for name in workload_names():
+            args = build_parser().parse_args(["route", "ntg", "--workload", name])
+            assert args.workload == name
 
 
 class TestCommands:
@@ -103,3 +116,181 @@ class TestCommands:
             "route", "ntg", "--dims", "16", "-B", "2", "-c", "1",
             "--workload", "clogging", "--horizon", "96",
         ]) == 0
+
+    def test_clogging_warns_on_ignored_flags(self, capsys):
+        assert main([
+            "route", "ntg", "--dims", "16", "-B", "2", "-c", "1",
+            "--workload", "clogging", "--horizon", "96",
+            "--requests", "55", "--seed", "9",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "ignores --requests" in err
+        assert "deterministic" in err  # --seed does not reach the generator
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "registered algorithms" in out and "registered workloads" in out
+        assert "det" in out and "clogging" in out and "fast engine" in out
+
+    def test_line_only_workload_on_grid_reports_cleanly(self, capsys):
+        # workload capability metadata: no AttributeError traceback, a clean
+        # n/a row (and no bound, since the instance cannot be generated)
+        assert main(["compare", "greedy", "--dims", "8x8",
+                     "--workload", "clogging", "--horizon", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a" in out and "targets lines" in out
+
+    def test_algorithm_arg_applies_per_algorithm(self, capsys):
+        # greedy takes priority=longest; ntg ignores it with a warning
+        # instead of aborting the whole comparison
+        assert main(["compare", "greedy", "ntg", "--dims", "16", "-B", "2",
+                     "-c", "1", "--requests", "30", "--arrival-window", "16",
+                     "--horizon", "64", "--algorithm-arg",
+                     "priority=longest"]) == 0
+        captured = capsys.readouterr()
+        assert "greedy" in captured.out and "ntg" in captured.out
+        assert "ignores --algorithm-arg priority" in captured.err
+
+    def test_workload_arg_flag(self, capsys):
+        assert main([
+            "route", "ntg", "--dims", "16", "-B", "2", "-c", "1",
+            "--workload", "clogging", "--horizon", "96",
+            "--workload-arg", "duration=4",
+        ]) == 0
+
+
+def _throughput_rows(out):
+    """Parse ``name | throughput`` (or wider sweep) table rows."""
+    rows = {}
+    for line in out.splitlines():
+        parts = [p.strip() for p in line.split("|")]
+        if len(parts) >= 2 and parts[0] and not set(parts[0]) <= {"-", "+"}:
+            rows[parts[0]] = parts[1] if len(parts) == 2 else parts[4]
+    return rows
+
+
+class TestSpecs:
+    SCENARIO = {
+        "network": {"kind": "line", "dims": [16], "buffer_size": 3,
+                    "capacity": 3},
+        "workload": {"name": "uniform", "params": {"num": 20, "horizon": 16}},
+        "algorithm": {"name": "det"},
+        "horizon": 64,
+        "seed": 2,
+    }
+
+    def test_route_spec(self, tmp_path, capsys):
+        path = tmp_path / "sc.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        assert main(["route", "--spec", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "det" in out and "ratio" in out
+
+    def test_route_spec_engines_agree(self, tmp_path, capsys):
+        path = tmp_path / "sc.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        assert main(["route", "--spec", str(path), "--engine", "reference"]) == 0
+        ref = capsys.readouterr().out
+        assert main(["route", "--spec", str(path), "--engine", "fast"]) == 0
+        fast = capsys.readouterr().out
+
+        def data_cells(out):
+            lines = [l for l in out.splitlines() if "|" in l]
+            return [c.strip() for c in lines[-1].split("|")]
+
+        # identical measurements; only the engine column differs
+        assert data_cells(ref)[:5] == data_cells(fast)[:5]
+        assert data_cells(ref)[5] == "reference" and data_cells(fast)[5] == "fast"
+
+    def test_route_spec_warns_on_ignored_flags(self, tmp_path, capsys):
+        path = tmp_path / "sc.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        assert main(["route", "--spec", str(path), "--seed", "9",
+                     "--dims", "8x8"]) == 0
+        err = capsys.readouterr().err
+        assert "ignoring" in err and "--seed" in err and "--dims" in err
+
+    def test_cli_applies_practical_rand_defaults(self):
+        # the paper-exact lambda = 1/(200 k) rejects nearly everything at
+        # CLI scale, so the CLI pins lam=0.5 (overridable)
+        from repro.cli import _algorithm_spec
+
+        args = build_parser().parse_args(["route", "rand"])
+        assert dict(_algorithm_spec(args, "rand").params)["lam"] == 0.5
+        args = build_parser().parse_args(
+            ["route", "rand", "--algorithm-arg", "lam=0.25"])
+        assert dict(_algorithm_spec(args, "rand").params)["lam"] == 0.25
+
+    def test_route_rejects_spec_plus_algorithm(self, tmp_path):
+        path = tmp_path / "sc.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        with pytest.raises(SystemExit):
+            main(["route", "det", "--spec", str(path)])
+
+    def test_route_requires_algorithm_or_spec(self):
+        with pytest.raises(SystemExit):
+            main(["route"])
+
+    def test_committed_specs_load(self):
+        import pathlib
+
+        from repro.api import load_scenarios
+
+        spec_dir = pathlib.Path(__file__).parent.parent / "benchmarks" / "specs"
+        specs = sorted(spec_dir.glob("*.json"))
+        assert specs, "benchmarks/specs/ must stay populated (CI runs them)"
+        for path in specs:
+            assert load_scenarios(path)
+
+    def test_compare_matches_spec_sweep(self, tmp_path, capsys):
+        """Acceptance: the compare command and the same run expressed as a
+        JSON scenario batch report identical throughput numbers."""
+        argv = ["compare", "det", "rand", "greedy", "ntg",
+                "--dims", "8x8", "--engine", "fast",
+                "--requests", "40", "--arrival-window", "16",
+                "--horizon", "64"]
+        assert main(argv) == 0
+        compare_rows = _throughput_rows(capsys.readouterr().out)
+
+        scenarios = [
+            {
+                "network": {"kind": "grid", "dims": [8, 8],
+                            "buffer_size": 3, "capacity": 3},
+                "workload": {"name": "uniform",
+                             "params": {"num": 40, "horizon": 16}},
+                "algorithm": {"name": name},
+                "horizon": 64,
+                "seed": 0,
+            }
+            for name in ("det", "rand", "greedy", "ntg")
+        ]
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps({"scenarios": scenarios}))
+        assert main(["sweep", "--spec", str(path), "--engine", "fast",
+                     "--workers", "2"]) == 0
+        sweep_rows = _throughput_rows(capsys.readouterr().out)
+
+        for name in ("det", "greedy", "ntg"):
+            assert compare_rows[name] == sweep_rows[name], name
+        assert "n/a" in compare_rows["rand"] and "n/a" in sweep_rows["rand"]
+
+    def test_sweep_workers_match_serial(self, tmp_path, capsys):
+        scenarios = [dict(self.SCENARIO, seed=s, algorithm={"name": name})
+                     for s in (0, 1)
+                     for name in ("greedy", "ntg")]
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(scenarios))
+        assert main(["sweep", "--spec", str(path)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["sweep", "--spec", str(path), "--workers", "3"]) == 0
+        pooled = capsys.readouterr().out
+
+        def strip_wall(text):
+            return [
+                [c.strip() for c in line.split("|")][:-1]
+                for line in text.splitlines()
+                if "|" in line
+            ]
+
+        assert strip_wall(serial) == strip_wall(pooled)

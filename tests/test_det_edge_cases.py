@@ -145,3 +145,23 @@ class TestLargeCapacityEdgeCases:
         router = LargeCapacityRouter(net, 64, k=6, strict=False)
         assert router.digraph.buffer_cap == 2
         assert router.digraph.link_cap == 2
+
+
+class TestIdenticalIntervalPreemption:
+    def test_det_plan_feasible_after_same_bounds_preemption(self):
+        """Regression: on this instance two requests reserve *identical*
+        track-1 intervals in sequence; owner-blind Interval equality let
+        the victim's cleanup delete the preemptor's reservation, and the
+        resulting plan forwarded 4 > c = 3 packets on one edge (caught by
+        the replay engine as a CapacityError)."""
+        from repro.api import NetworkSpec, Scenario, WorkloadSpec, run
+
+        scenario = Scenario(
+            network=NetworkSpec("line", (64,), buffer_size=3, capacity=3),
+            workload=WorkloadSpec("uniform", {"num": 192, "horizon": 64}),
+            algorithm="det",
+            horizon=256,
+            seed=1,
+        )
+        report = run(scenario)  # run() replays the plan; it must not raise
+        assert report.throughput > 0

@@ -145,6 +145,20 @@ class TestOnlineRule:
         assert [iv.owner for iv in p.preempted] == [1]
         assert [iv.owner for iv in p.rejected] == [3]
 
+    def test_identical_bounds_distinct_owners(self):
+        # regression: owner used to be excluded from equality, so after a
+        # request preempted an identical-bounds interval, the victim's
+        # cleanup (holds/replace on its stale handle) deleted the
+        # *preemptor's* reservation -- its committed moves then occupied the
+        # line with no interval backing them (CapacityError at replay)
+        p = OnlineIntervalPacker()
+        old = Interval(0, 4, owner=1)
+        p.offer(old)
+        ok, victims = p.offer(Interval(0, 4, owner=2))
+        assert ok and victims == [old]
+        assert not p.holds(old)
+        assert p.holds(Interval(0, 4, owner=2))
+
 
 @st.composite
 def sorted_interval_seq(draw):
