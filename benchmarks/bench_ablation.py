@@ -6,72 +6,82 @@
 * **Sparsification gamma** (randomized): the paper's 200 is a Chernoff
   artifact; the sweep shows throughput ~ 1/gamma until the load cap bites.
 * **Classify-and-select**: serving both classes by coin vs pinning one.
+
+Ported to the :mod:`repro.api` Scenario layer: every ablation point is a
+declarative ``Scenario`` whose algorithm parameters (``k``, ``gamma``,
+``lam``, ``force_class``) ride in the ``AlgorithmSpec``, executed by
+``run_batch``; ratios/bounds come from the ``RunReport``.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
-from repro.analysis.metrics import evaluate_plan
 from repro.analysis.tables import format_table
-from repro.baselines.offline import offline_bound
-from repro.core.deterministic import DeterministicRouter
-from repro.core.randomized import RandomizedLineRouter
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
+from repro.core.randomized import RandomizedParams
 
 
 def run_tile_side_ablation():
-    net = LineNetwork(32, buffer_size=3, capacity=3)
-    horizon = 128
-    paper_k = net.tile_side_k()
+    net = NetworkSpec("line", (32,), 3, 3)
+    paper_k = net.build().tile_side_k()
+    ks = trim((4, 8, paper_k, 20), 3)
+    trials = list(seeds(3))
+    scenarios = [
+        Scenario(net, WorkloadSpec("uniform", {"num": 120, "horizon": 32}),
+                 AlgorithmSpec("det", {"k": k}), horizon=128, seed=seed)
+        for k in ks
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for k in (4, 8, paper_k, 20):
-        ratios = []
-        for rng in spawn_generators(5, 3):
-            reqs = uniform_requests(net, 120, 32, rng=rng)
-            plan = DeterministicRouter(net, horizon, k=k).route(reqs)
-            ev = evaluate_plan(net, plan, reqs, horizon)
-            ratios.append(ev.ratio)
+    for i, k in enumerate(ks):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        ratios = [r.ratio for r in batch]
         rows.append([k, k == paper_k, sum(ratios) / len(ratios)])
     return rows
 
 
 def run_gamma_ablation():
-    net = LineNetwork(64, buffer_size=1, capacity=1)
-    horizon = 256
+    net = NetworkSpec("line", (64,), 1, 1)
+    gammas = trim((0.5, 2.0, 8.0, 50.0, 200.0), 3)
+    trials = list(seeds(6, 3))
+    scenarios = [
+        Scenario(net, WorkloadSpec("uniform", {"num": 200, "horizon": 64}),
+                 AlgorithmSpec("rand", {"gamma": gamma, "force_class": "far"}),
+                 horizon=256, seed=seed)
+        for gamma in gammas
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
+    network = net.build()
     rows = []
-    for gamma in (0.5, 2.0, 8.0, 50.0, 200.0):
-        tputs, bounds = [], []
-        for rng in spawn_generators(13, 6):
-            reqs = uniform_requests(net, 200, 64, rng=rng)
-            router = RandomizedLineRouter(
-                net, horizon, rng=rng, gamma=gamma, force_class="far"
-            )
-            plan = router.route(reqs)
-            tputs.append(plan.throughput)
-            bounds.append(offline_bound(net, reqs, horizon))
-        rows.append([
-            gamma, router.params.lam,
-            sum(tputs) / len(tputs),
-            (sum(bounds) / len(bounds)) / max(1e-9, sum(tputs) / len(tputs)),
-        ])
+    for i, gamma in enumerate(gammas):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        lam = RandomizedParams.for_network(network, gamma=gamma).lam
+        et = sum(r.throughput for r in batch) / len(batch)
+        eb = sum(r.bound for r in batch) / len(batch)
+        rows.append([gamma, lam, et, eb / max(1e-9, et)])
     return rows
 
 
 def run_classify_ablation():
-    net = LineNetwork(64, buffer_size=1, capacity=1)
-    horizon = 256
+    net = NetworkSpec("line", (64,), 1, 1)
+    trials = list(seeds(8, 3))
+    modes = (None, "far", "near")
+    scenarios = [
+        Scenario(net, WorkloadSpec("uniform", {"num": 200, "horizon": 64}),
+                 AlgorithmSpec("rand", {"lam": 0.5} if mode is None
+                               else {"lam": 0.5, "force_class": mode}),
+                 horizon=256, seed=seed)
+        for mode in modes
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for mode in (None, "far", "near"):
-        tputs = []
-        for rng in spawn_generators(29, 8):
-            reqs = uniform_requests(net, 200, 64, rng=rng)
-            router = RandomizedLineRouter(
-                net, horizon, rng=rng, lam=0.5, force_class=mode
-            )
-            tputs.append(router.route(reqs).throughput)
+    for i, mode in enumerate(modes):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        tputs = [r.throughput for r in batch]
         rows.append([mode or "coin", sum(tputs) / len(tputs)])
     return rows
 

@@ -13,7 +13,7 @@ the declarative run and the oracle see the same requests.
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
 from repro.analysis.tables import format_table
 from repro.api import NetworkSpec, Scenario, WorkloadSpec, run, run_batch
@@ -21,7 +21,7 @@ from repro.packing.exact import exact_opt_small
 
 
 def run_prop12_exact_check():
-    trials = 12
+    trials = len(seeds(12, 6))
     scenarios = [
         Scenario(NetworkSpec("line", (7,), buffer_size=0, capacity=1),
                  WorkloadSpec("uniform", {"num": 6, "horizon": 6}),
@@ -38,19 +38,19 @@ def run_prop12_exact_check():
 
 
 def run_prop12_sweep():
-    sizes, seeds = (16, 32, 64, 128), 3
+    sizes, n_seeds = trim((16, 32, 64, 128), 2), len(seeds(3))
     scenarios = [
         Scenario(NetworkSpec("line", (n,), buffer_size=0, capacity=1),
                  WorkloadSpec("uniform", {"num": 2 * n, "horizon": n}),
                  "bufferless", horizon=3 * n, seed=seed)
         for n in sizes
-        for seed in range(seeds)
+        for seed in range(n_seeds)
     ]
     reports = run_batch(scenarios, workers=2)
     rows = []
     for i, n in enumerate(sizes):
-        chunk = reports[i * seeds:(i + 1) * seeds]
-        rows.append([n, 2 * n, sum(r.ratio for r in chunk) / seeds])
+        chunk = reports[i * n_seeds:(i + 1) * n_seeds]
+        rows.append([n, 2 * n, sum(r.ratio for r in chunk) / n_seeds])
     return rows
 
 
@@ -60,12 +60,12 @@ def run_theorem11_grid():
                  WorkloadSpec("uniform",
                               {"num": 3 * side * side, "horizon": 2 * side}),
                  "det", horizon=8 * side, seed=side)
-        for side in (4, 6, 8)
+        for side in trim((4, 6, 8))
     ]
     reports = run_batch(scenarios, workers=2)
     return [
         [f"{side}x{side}", r.requests, r.bound, r.ratio]
-        for side, r in zip((4, 6, 8), reports)
+        for side, r in zip(trim((4, 6, 8)), reports)
     ]
 
 

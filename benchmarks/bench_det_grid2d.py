@@ -11,12 +11,12 @@ Ported to the :mod:`repro.api` Scenario layer (declarative runs through
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, trim
 
 from repro.analysis.tables import format_table
 from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
 
-SIDES = (4, 6, 8)
+SIDES = trim((4, 6, 8))
 
 
 def _grid(side: int) -> NetworkSpec:

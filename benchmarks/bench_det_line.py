@@ -15,13 +15,13 @@ requests).
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
 from repro.analysis.tables import format_table
 from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
 
-SIZES = (16, 32, 64)
-SEEDS = 3
+SIZES = trim((16, 32, 64))
+SEEDS = len(seeds(3))
 
 
 def _line(n: int) -> NetworkSpec:

@@ -6,34 +6,42 @@ fractions (Propositions 8-9).  The bench routes heavy request batches
 through the deterministic pipeline and reports the preemption breakdown per
 part; the claims checked: zero internal-segment failures, and per-part
 survival at least the theory floors.
+
+Ported to the :mod:`repro.api` Scenario layer: the pipeline runs via
+``run_batch`` and the part-by-part counters come from
+``RunReport.meta["detailed"]``; the knock-knee automaton audit below is a
+pure tile-level property check (no network simulation involved).
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
 from repro.analysis.tables import format_table
-from repro.core.deterministic import DeterministicRouter
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
+
+CONFIGS = trim(((32, 4), (64, 4)))
 
 
 def run_accounting():
+    trials = list(seeds(3))
+    scenarios = [
+        Scenario(NetworkSpec("line", (n,), 3, 3),
+                 WorkloadSpec("uniform", {"num": load * n, "horizon": n}),
+                 "det", horizon=4 * n, seed=seed)
+        for n, load in CONFIGS
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for n, load in ((32, 4), (64, 4)):
-        net = LineNetwork(n, buffer_size=3, capacity=3)
-        horizon = 4 * n
-        agg = {}
+    for i, (n, _load) in enumerate(CONFIGS):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        k = batch[0].meta["k"]
+        agg: dict = {}
         accepted = 0
-        k = None
-        for rng in spawn_generators(n, 3):
-            router = DeterministicRouter(net, horizon)
-            k = router.k
-            reqs = uniform_requests(net, load * n, n, rng=rng)
-            plan = router.route(reqs)
-            accepted += plan.meta["framework"]["accepted"]
-            for key, val in plan.meta["detailed"].items():
+        for report in batch:
+            accepted += report.meta["framework"]["accepted"]
+            for key, val in report.meta["detailed"].items():
                 agg[key] = agg.get(key, 0) + val
         survived = agg.get("delivered", 0)
         rows.append([

@@ -9,55 +9,63 @@ exist so regressions in the substrate are visible.
 Set ``REPRO_ENGINE=fast`` to run the whole bench suite (this file and the
 experiment benches) on the array-backed engine; see
 :mod:`repro.network.engine`.
+
+Ported to the :mod:`repro.api` Scenario layer: engine comparisons run the
+same declarative ``Scenario`` under ``engine="reference"`` vs
+``engine="fast"`` through ``run_batch`` and read per-run ``engine_time``
+from the reports.  All timing runs use ``cache="off"`` and
+``compute_bound=False`` -- replaying a wall-clock measurement from the
+result cache (or paying a max-flow bound) would make the speedup
+meaningless, which is also why the ``ENGINE_*`` output files are exempt
+from CI's byte-identity check.
 """
 
 from __future__ import annotations
 
-import time
+from conftest import SMOKE, emit
 
-from conftest import emit
+import pytest
 
 from repro.analysis.tables import format_table
-from repro.baselines.greedy import run_greedy
-from repro.baselines.nearest_to_go import NearestToGoPolicy, run_nearest_to_go
-from repro.core.deterministic import DeterministicRouter
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
 from repro.network.engine import resolve_engine_name
-from repro.network.simulator import Simulator
-from repro.network.topology import GridNetwork, LineNetwork
-from repro.packing.maxflow import throughput_upper_bound
-from repro.spacetime.graph import STPath, SpaceTimeGraph
-from repro.workloads.uniform import uniform_requests
+
+#: measured fields that must be bit-identical across engines
+_MEASURES = ("throughput", "late", "rejected", "preempted", "steps",
+             "latency_mean", "latency_max")
 
 
+@pytest.mark.skipif(SMOKE, reason="speedup floor needs the full-size grid")
 def test_engine_speedup():
     """Reference vs fast engine on the largest grid workload of the suite.
 
     The acceptance bar for the array-backed engine: >= 5x wall-clock on a
-    congested 48x48 grid with 20k requests, with identical status maps.
+    congested 48x48 grid with 20k requests, with identical measurements
+    (full status-map equality is enforced by tests/test_fast_engine.py
+    and tests/test_differential.py).
     """
-    net = GridNetwork((48, 48), buffer_size=1, capacity=1)
-    reqs = uniform_requests(net, 20_000, 128, rng=7)
-    horizon = 128 + 2 * sum(net.dims)
+    net = NetworkSpec("grid", (48, 48), 1, 1)
+    horizon = 128 + 2 * (48 + 48)
+    workload = WorkloadSpec("uniform", {"num": 20_000, "horizon": 128})
     rows = []
     speedups = {}
-    for runner, label in ((run_greedy, "greedy/fifo"), (run_nearest_to_go, "ntg")):
-        t0 = time.perf_counter()
-        ref = runner(net, reqs, horizon, engine="reference")
-        t1 = time.perf_counter()
-        fast = runner(net, reqs, horizon, engine="fast")
-        t2 = time.perf_counter()
-        assert fast.status == ref.status
-        assert fast.stats.delivered == ref.stats.delivered
-        speedups[label] = (t1 - t0) / max(1e-9, t2 - t1)
-        rows.append([label, ref.throughput, f"{t1 - t0:.3f}",
-                     f"{t2 - t1:.3f}", f"{speedups[label]:.1f}x"])
+    for algo, label in (({"name": "greedy", "params": {"priority": "fifo"}},
+                         "greedy/fifo"), ("ntg", "ntg")):
+        ref, fast = run_batch(
+            [Scenario(net, workload, algo, horizon=horizon, seed=7,
+                      engine=engine) for engine in ("reference", "fast")],
+            cache="off", compute_bound=False)
+        for field in _MEASURES:
+            assert getattr(fast, field) == getattr(ref, field), field
+        speedups[label] = ref.engine_time / max(1e-9, fast.engine_time)
+        rows.append([label, ref.throughput, f"{ref.engine_time:.3f}",
+                     f"{fast.engine_time:.3f}", f"{speedups[label]:.1f}x"])
     emit(
         "ENGINE_speedup",
         format_table(
             ["policy", "throughput", "reference_s", "fast_s", "speedup"],
             rows,
-            title=f"engine speedup on {net} ({len(reqs)} requests, "
-                  f"horizon {horizon})",
+            title=f"engine speedup on {net} ({workload})",
         ),
     )
     assert max(speedups.values()) >= 5.0, speedups
@@ -67,32 +75,40 @@ def test_engine_env_selection():
     """The suite-wide engine switch: run on whatever REPRO_ENGINE selects
     (CI smokes this file under both values)."""
     name = resolve_engine_name()
-    net = GridNetwork((12, 12), buffer_size=2, capacity=2)
-    reqs = uniform_requests(net, 800, 64, rng=11)
-    res = run_greedy(net, reqs, 256)  # engine resolved from the environment
+    report, = run_batch([
+        Scenario(NetworkSpec("grid", (12, 12), 2, 2),
+                 WorkloadSpec("uniform", {"num": 800, "horizon": 64}),
+                 "greedy", horizon=256, seed=11)
+    ], cache="off", compute_bound=False)
+    assert report.engine == name
     emit(
         "ENGINE_selected",
         format_table(
             ["engine", "throughput", "steps"],
-            [[name, res.throughput, res.stats.steps]],
+            [[report.engine, report.throughput, report.steps]],
             title="suite engine selection smoke",
         ),
     )
-    assert res.throughput > 0
+    assert report.throughput > 0
 
 
 def test_simulator_step_rate(benchmark):
-    net = LineNetwork(64, buffer_size=2, capacity=2)
-    reqs = uniform_requests(net, 300, 128, rng=0)
+    scenario = Scenario(NetworkSpec("line", (64,), 2, 2),
+                        WorkloadSpec("uniform", {"num": 300, "horizon": 128}),
+                        "ntg", horizon=512, seed=0, engine="reference")
 
     def run():
-        return Simulator(net, NearestToGoPolicy()).run(reqs, 512).throughput
+        report, = run_batch([scenario], cache="off", compute_bound=False)
+        return report.throughput
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result > 0
 
 
 def test_ledger_add_remove(benchmark):
+    from repro.network.topology import LineNetwork
+    from repro.spacetime.graph import STPath, SpaceTimeGraph
+
     net = LineNetwork(64, buffer_size=4, capacity=4)
     graph = SpaceTimeGraph(net, 256)
     paths = [
@@ -111,6 +127,10 @@ def test_ledger_add_remove(benchmark):
 
 
 def test_dinic_spacetime(benchmark):
+    from repro.network.topology import LineNetwork
+    from repro.packing.maxflow import throughput_upper_bound
+    from repro.workloads.uniform import uniform_requests
+
     net = LineNetwork(64, buffer_size=1, capacity=1)
     reqs = uniform_requests(net, 150, 64, rng=1)
 
@@ -121,10 +141,12 @@ def test_dinic_spacetime(benchmark):
 
 
 def test_deterministic_pipeline(benchmark):
-    net = LineNetwork(32, buffer_size=3, capacity=3)
-    reqs = uniform_requests(net, 100, 32, rng=2)
+    scenario = Scenario(NetworkSpec("line", (32,), 3, 3),
+                        WorkloadSpec("uniform", {"num": 100, "horizon": 32}),
+                        "det", horizon=128, seed=2)
 
     def run():
-        return DeterministicRouter(net, 128).route(reqs).throughput
+        report, = run_batch([scenario], cache="off", compute_bound=False)
+        return report.throughput
 
     assert benchmark.pedantic(run, rounds=3, iterations=1) > 0

@@ -3,47 +3,51 @@
 Measures, over random packing instances on sketch graphs: (i) throughput
 against half the optimal fractional packing (the theorem's guarantee), and
 (ii) the maximum edge load against ``log2(1 + 3 p_max)`` times capacity.
+
+Ported to the :mod:`repro.api` Scenario layer: the registered
+``ipp-sketch`` audit algorithm runs Algorithm 3 over the tiled sketch
+through ``run_batch`` (asserting the Theorem 1 primal-dual and load
+invariants internally) and reports ``opt_f``/``max_load_ratio``/
+``load_bound`` in ``RunReport.meta``.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
 from repro.analysis.tables import format_table
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
 from repro.network.topology import LineNetwork
 from repro.packing.ipp import OnlinePathPacking
-from repro.packing.lp import fractional_opt
 from repro.spacetime.graph import SpaceTimeGraph
 from repro.spacetime.sketch import PlainSketchGraph
 from repro.spacetime.tiling import Tiling
-from repro.util.rng import spawn_generators
 from repro.workloads.uniform import uniform_requests
+
+CONFIGS = trim(((16, 4), (32, 4), (32, 8)))
 
 
 def run_ipp_instances():
+    trials = list(seeds(2))
+    scenarios = [
+        Scenario(NetworkSpec("line", (n,), 1, 1),
+                 WorkloadSpec("uniform", {"num": 3 * n, "horizon": n}),
+                 AlgorithmSpec("ipp-sketch", {"tile": tile, "pmax": 4 * n}),
+                 horizon=2 * n, seed=seed)
+        for n, tile in CONFIGS
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for n, tile in ((16, 4), (32, 4), (32, 8)):
-        net = LineNetwork(n, buffer_size=1, capacity=1)
-        horizon = 2 * n
-        for rng in spawn_generators(n + tile, 2):
-            graph = SpaceTimeGraph(net, horizon)
-            sketch = PlainSketchGraph(graph, Tiling((tile, tile)))
-            ipp = OnlinePathPacking(sketch, pmax=4 * n)
-            reqs = uniform_requests(net, 3 * n, n, rng=rng)
-            accepted = 0
-            for r in reqs:
-                sink = sketch.register_sink(("d", r.dest), r.dest, 0, horizon)
-                if sink is None:
-                    continue
-                if ipp.route(sketch.source_node(r), sink) is not None:
-                    accepted += 1
-            ipp.check_theorem1_invariants()
-            optf = fractional_opt(net, reqs, horizon)
-            rows.append([
-                n, tile, len(reqs), accepted, optf,
-                accepted / max(1e-9, optf / 2),
-                ipp.max_load_ratio(), ipp.load_bound(),
-            ])
+    for (scenario, report) in zip(scenarios, reports):
+        n = scenario.network.dims[0]
+        tile = dict(scenario.algorithm.params)["tile"]
+        optf = report.meta["opt_f"]
+        rows.append([
+            n, tile, report.requests, report.throughput, optf,
+            report.throughput / max(1e-9, optf / 2),
+            report.meta["max_load_ratio"], report.meta["load_bound"],
+        ])
     return rows
 
 
@@ -65,7 +69,8 @@ def test_theorem1_throughput_and_load(once):
 
 
 def test_ipp_is_fast(benchmark):
-    """Micro-benchmark: routing cost per request on a mid-size sketch."""
+    """Micro-benchmark: routing cost per request on a mid-size sketch
+    (pure packing-layer hot path; no network simulation involved)."""
     net = LineNetwork(64, buffer_size=1, capacity=1)
     graph = SpaceTimeGraph(net, 128)
     sketch = PlainSketchGraph(graph, Tiling((8, 8)))

@@ -4,40 +4,49 @@ With B, c >= k = Theta(log n) the algorithm reduces to online path packing
 on the capacity-scaled space-time graph, is non-preemptive, and is
 O(log n)-competitive.  The bench sweeps n with B = c = 4 ceil(log2 n) and
 checks the ratio stays a small constant while the scaled load bound holds.
+
+Ported to the :mod:`repro.api` Scenario layer: the registered
+``theorem13`` algorithm runs through ``run_batch``; the tile side k and
+preemption count come from the ``RunReport`` (``meta["k"]`` /
+``preempted``) instead of poking the router.
 """
 
 from __future__ import annotations
 
 import math
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
-from repro.analysis.metrics import evaluate_plan
 from repro.analysis.tables import format_table
-from repro.core.deterministic.variants import LargeCapacityRouter
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
+
+SIZES = trim((16, 32, 64))
+TRIALS = 3
+
+
+def _caps(n: int) -> int:
+    return 4 * max(4, math.ceil(math.log2(n)) + 10)  # comfortably >= k
 
 
 def run_sweep():
+    trials = list(seeds(TRIALS))
+    scenarios = [
+        Scenario(NetworkSpec("line", (n,), _caps(n), _caps(n)),
+                 WorkloadSpec("uniform", {"num": 4 * n, "horizon": n}),
+                 "theorem13", horizon=3 * n, seed=seed)
+        for n in SIZES
+        for seed in trials
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for n in (16, 32, 64):
-        caps = 4 * max(4, math.ceil(math.log2(n)) + 10)  # comfortably >= k
-        net = LineNetwork(n, buffer_size=caps, capacity=caps)
-        router = LargeCapacityRouter(net, 3 * n)
+    for i, n in enumerate(SIZES):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        k = batch[0].meta["k"]
         # caps must clear the paper's k for the theorem to apply
-        assert caps >= router.k
-        ratios = []
-        preempted = 0
-        for rng in spawn_generators(3, 3):
-            reqs = uniform_requests(net, 4 * n, n, rng=rng)
-            router = LargeCapacityRouter(net, 3 * n)
-            plan = router.route(reqs)
-            preempted += len(plan.truncated)
-            ev = evaluate_plan(net, plan, reqs, 3 * n)
-            ratios.append(ev.ratio)
-        rows.append([n, caps, router.k, sum(ratios) / len(ratios), preempted])
+        assert _caps(n) >= k
+        ratios = [r.ratio for r in batch]
+        preempted = sum(r.preempted for r in batch)
+        rows.append([n, _caps(n), k, sum(ratios) / len(ratios), preempted])
     return rows
 
 

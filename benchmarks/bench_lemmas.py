@@ -9,29 +9,35 @@
 * **Propositions 8-9** (deterministic): the fraction of IPP-accepted
   requests surviving special segments is at least 1/(2k), and of those at
   least 1/(2k) survive the last tile.
+
+Ported to the :mod:`repro.api` Scenario layer: the Lemma 21 and
+Props 8-9 measurements run the registered ``rand``/``det`` algorithms
+through ``run_batch`` and read the routers' pipeline counters from
+``RunReport.meta``; Proposition 17 is a pure tiling-geometry audit over
+a declaratively generated instance (no simulation involved).
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds
 
 from repro.analysis.tables import format_table
-from repro.core.deterministic import DeterministicRouter
-from repro.core.randomized import FarPlusRouter, RandomizedParams
-from repro.network.topology import LineNetwork
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
+from repro.core.randomized import RandomizedParams
 from repro.spacetime.graph import SpaceTimeGraph
 from repro.spacetime.tiling import Quadrant, Tiling
-from repro.util.rng import as_generator, spawn_generators
-from repro.workloads.uniform import uniform_requests
+from repro.util.rng import as_generator
 
 
 def run_prop17():
     """Fraction of requests in R+ over random phases (expect ~ 1/4)."""
-    net = LineNetwork(64, buffer_size=1, capacity=1)
+    spec = Scenario(NetworkSpec("line", (64,), 1, 1),
+                    WorkloadSpec("uniform", {"num": 400, "horizon": 64}),
+                    "ntg", horizon=256, seed=3)
+    net, reqs = spec.build_instance()
     graph = SpaceTimeGraph(net, 256)
     params = RandomizedParams.for_network(net, lam=1.0)
     rng = as_generator(3)
-    reqs = uniform_requests(net, 400, 64, rng=rng)
     trials = 200
     hits = 0
     for _ in range(trials):
@@ -49,17 +55,18 @@ def run_prop17():
 
 def run_lemma21():
     """Fraction of coin-surviving requests killed by the 1/4-load cap."""
-    net = LineNetwork(64, buffer_size=1, capacity=1)
-    params = RandomizedParams.for_network(net, lam=0.5)  # heavy on purpose
+    scenarios = [
+        Scenario(NetworkSpec("line", (64,), 1, 1),
+                 WorkloadSpec("uniform", {"num": 300, "horizon": 64}),
+                 AlgorithmSpec("rand", {"lam": 0.5, "force_class": "far"}),
+                 horizon=256, seed=seed)  # lam far above paper: heavy on purpose
+        for seed in seeds(5, 3)
+    ]
     total_pass = total_load_rejected = 0
-    for rng in spawn_generators(9, 5):
-        router = FarPlusRouter(net, 256, params, phases=(0, 0), rng=rng)
-        reqs = uniform_requests(net, 300, 64, rng=rng)
-        router.route(reqs)
-        total_load_rejected += router.counters["load_rejected"]
-        total_pass += (
-            router.ipp.stats.accepted - router.counters["coin_rejected"]
-        )
+    for report in run_batch(scenarios, workers=2):
+        counters = report.meta["far_plus"]
+        total_load_rejected += counters["load_rejected"]
+        total_pass += counters["ipp_accepted"] - counters["coin_rejected"]
     frac = total_load_rejected / max(1, total_pass)
     # the paper proves < 1/4 in expectation for lambda = 1/(200 k); at the
     # much heavier lambda = 0.5 we only require it stays a minority
@@ -68,17 +75,18 @@ def run_lemma21():
 
 def run_props89():
     """Deterministic survival fractions vs the 1/(2k) floors."""
-    net = LineNetwork(32, buffer_size=3, capacity=3)
-    rows = []
+    scenarios = [
+        Scenario(NetworkSpec("line", (32,), 3, 3),
+                 WorkloadSpec("uniform", {"num": 150, "horizon": 32}),
+                 "det", horizon=128, seed=seed)
+        for seed in seeds(5, 3)
+    ]
     accepted = special_survived = delivered = 0
     k = None
-    for rng in spawn_generators(17, 5):
-        router = DeterministicRouter(net, 128)
-        k = router.k
-        reqs = uniform_requests(net, 150, 32, rng=rng)
-        plan = router.route(reqs)
-        ctr = plan.meta["detailed"]
-        acc = plan.meta["framework"]["accepted"]
+    for report in run_batch(scenarios, workers=2):
+        k = report.meta["k"]
+        ctr = report.meta["detailed"]
+        acc = report.meta["framework"]["accepted"]
         accepted += acc
         special_lost = (
             ctr["preempt_first_segment"]
@@ -87,7 +95,8 @@ def run_props89():
             + ctr["horizon_miss"]
         )
         special_survived += acc - special_lost
-        delivered += plan.throughput
+        delivered += report.throughput
+    rows = []
     rows.append([
         "Prop 8: special-segment survival",
         f">= 1/(2k) = {1 / (2 * k):.4f}",

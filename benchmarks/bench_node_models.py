@@ -5,39 +5,55 @@ node while another is buffered; Model 2 ([AZ05, AKK09]) funnels everything
 through the buffer.  The bench reproduces the B = c = 1 separation
 instance (Model 1 delivers both packets, Model 2 can only deliver one) and
 sweeps NTG throughput under both models on shared workloads.
+
+Ported to the :mod:`repro.api` Scenario layer: Model 2 is the registered
+``ntg-model2`` algorithm, the separation instance is the registered
+``separation`` workload, and both experiments run through ``run_batch``
+-- by the seeding contract the two models see identical request
+sequences at every (n, seed) point.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, seeds, trim
 
 from repro.analysis.tables import format_table
-from repro.baselines.nearest_to_go import run_nearest_to_go
-from repro.network.node_models import Model2LineSimulator, separation_instance
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
+
+SIZES = trim((16, 32, 64))
+TRIALS = 4
+MODELS = ("ntg", "ntg-model2")
 
 
 def run_separation():
-    net, reqs = separation_instance()
-    m1 = run_nearest_to_go(net, reqs, 10).throughput
-    m2 = Model2LineSimulator(net).run(reqs, 10).stats.delivered
-    return [["separation (B=c=1)", m1, m2]]
+    scenarios = [
+        Scenario(NetworkSpec("line", (3,), 1, 1), WorkloadSpec("separation"),
+                 algo, horizon=10)
+        for algo in MODELS
+    ]
+    m1, m2 = run_batch(scenarios)
+    return [["separation (B=c=1)", m1.throughput, m2.throughput]]
 
 
 def run_model_sweep():
+    trials = list(seeds(TRIALS))
+    scenarios = [
+        Scenario(NetworkSpec("line", (n,), 1, 1),
+                 WorkloadSpec("uniform", {"num": 2 * n, "horizon": n}),
+                 algo, horizon=4 * n, seed=seed)
+        for n in SIZES
+        for seed in trials
+        for algo in MODELS
+    ]
+    reports = dict(zip(
+        ((s.network.dims[0], s.seed, s.algorithm.name) for s in scenarios),
+        run_batch(scenarios, workers=2),
+    ))
     rows = []
-    for n in (16, 32, 64):
-        net = LineNetwork(n, buffer_size=1, capacity=1)
-        horizon = 4 * n
-        t1 = t2 = 0
-        trials = 4
-        for rng in spawn_generators(n, trials):
-            reqs = uniform_requests(net, 2 * n, n, rng=rng)
-            t1 += run_nearest_to_go(net, reqs, horizon).throughput
-            t2 += Model2LineSimulator(net).run(reqs, horizon).stats.delivered
-        rows.append([n, t1 / trials, t2 / trials])
+    for n in SIZES:
+        t1 = sum(reports[(n, s, "ntg")].throughput for s in trials)
+        t2 = sum(reports[(n, s, "ntg-model2")].throughput for s in trials)
+        rows.append([n, t1 / len(trials), t2 / len(trials)])
     return rows
 
 

@@ -5,37 +5,52 @@ fraction reaches at least ``(1 - 1/e)/2 ~ 0.316`` once
 ``p_max >= (nu + 2) diam(G)``; empirically the curve rises from 0 (below
 the distance floor) to 1 (unconstrained) with the paper's p_max far past
 the knee.
+
+Ported to the :mod:`repro.api` Scenario layer: the instances are
+declarative ``Scenario``s (one per seed), the LP sweep runs over their
+materialized request sets, and an NTG run via ``run_batch`` grounds the
+fractional curve against an actual online algorithm on the same
+instances (``ntg/opt_f`` must stay <= 1: the LP relaxes the integral
+online problem).
 """
 
 from __future__ import annotations
 
 import math
 
-from conftest import emit
+from conftest import emit, seeds
 
 from repro.analysis.tables import format_table
-from repro.network.topology import LineNetwork
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
 from repro.packing.lp import fractional_opt
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
 
 LEMMA_FLOOR = 0.5 * (1 - 1 / math.e)
 
+N = 12
+HORIZON = 30
+SWEEPS = (4, 8, 12, 16, 24, 40)
+
 
 def run_pathlength_sweep():
-    net = LineNetwork(12, buffer_size=1, capacity=1)
-    horizon = 30
+    scenarios = [
+        Scenario(NetworkSpec("line", (N,), 1, 1),
+                 WorkloadSpec("uniform", {"num": 18, "horizon": N}),
+                 "ntg", horizon=HORIZON, seed=seed)
+        for seed in seeds(3)
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    sweeps = (4, 8, 12, 16, 24, 40)
-    for rng in spawn_generators(2, 3):
-        reqs = uniform_requests(net, 18, 12, rng=rng)
-        free = fractional_opt(net, reqs, horizon)
+    for scenario, report in zip(scenarios, reports):
+        net, reqs = scenario.build_instance()
+        free = fractional_opt(net, reqs, HORIZON)
         fracs = [
-            fractional_opt(net, reqs, horizon, pmax=p) / max(1e-9, free)
-            for p in sweeps
+            fractional_opt(net, reqs, HORIZON, pmax=p) / max(1e-9, free)
+            for p in SWEEPS
         ]
-        rows.append([round(free, 2)] + [round(f, 4) for f in fracs])
-    return sweeps, rows
+        rows.append([round(free, 2)]
+                    + [round(f, 4) for f in fracs]
+                    + [round(report.throughput / max(1e-9, free), 4)])
+    return SWEEPS, rows
 
 
 def test_lemma2_pathlength(once):
@@ -43,7 +58,7 @@ def test_lemma2_pathlength(once):
     emit(
         "E9_pathlength",
         format_table(
-            ["opt_f"] + [f"pmax={p}" for p in sweeps],
+            ["opt_f"] + [f"pmax={p}" for p in sweeps] + ["ntg/opt_f"],
             rows,
             title="E9/Lemma 2 -- opt_f(R | p_max) / opt_f(R): the knee sits "
             f"far below the paper's p_max; floor {LEMMA_FLOOR:.3f} at the "
@@ -51,10 +66,12 @@ def test_lemma2_pathlength(once):
         ),
     )
     for row in rows:
-        fracs = row[1:]
+        fracs = row[1:-1]
         # monotone in p_max
         assert all(a <= b + 1e-6 for a, b in zip(fracs, fracs[1:]))
         # unconstrained limit reached
         assert fracs[-1] >= 0.999
         # Lemma 2 floor already met at the largest swept p_max
         assert fracs[-1] >= LEMMA_FLOOR
+        # the online integral run cannot beat the fractional relaxation
+        assert row[-1] <= 1.0 + 1e-6

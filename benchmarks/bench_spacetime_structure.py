@@ -5,6 +5,12 @@ reproduction is a property audit over randomized instances: the untilting
 automorphism round-trips and renders edges axis-parallel, tilings
 partition the lattice, and sketch capacities match the Section 3.4
 formulas (``c * tau`` vertical, ``B * Q`` horizontal).
+
+Ported to the :mod:`repro.api` Scenario layer: networks are built from
+``NetworkSpec`` and a final grounding row runs an online algorithm via
+``run_batch`` on the same substrate, checking the structural bound chain
+end to end (simulated throughput <= max-flow bound of the space-time
+graph the audit validated).
 """
 
 from __future__ import annotations
@@ -12,7 +18,7 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.analysis.tables import format_table
-from repro.network.topology import LineNetwork
+from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
 from repro.spacetime.coords import tilt, untilt
 from repro.spacetime.graph import SpaceTimeGraph
 from repro.spacetime.sketch import PlainSketchGraph
@@ -42,7 +48,8 @@ def run_structure_audit():
     rows.append(["axis-parallel edges", total, ok_parallel])
 
     # Figure 3c/3d: tiling partitions the valid region exactly once
-    net = LineNetwork(32, buffer_size=2, capacity=3)
+    net_spec = NetworkSpec("line", (32,), 2, 3)
+    net = net_spec.build()
     graph = SpaceTimeGraph(net, 64)
     for phases in ((0, 0), (3, 5)):
         tiling = Tiling((8, 8), phases)
@@ -60,6 +67,15 @@ def run_structure_audit():
     horizontal = sketch.boundary_capacity(1)
     rows.append(["vertical capacity == c*tau", 3 * 4, int(vertical)])
     rows.append(["horizontal capacity == B*Q", 2 * 8, int(horizontal)])
+
+    # grounding: the validated space-time graph also bounds execution --
+    # an online run on the same substrate cannot beat its max-flow bound
+    report, = run_batch([
+        Scenario(net_spec, WorkloadSpec("uniform", {"num": 60, "horizon": 32}),
+                 "ntg", horizon=64, seed=0)
+    ])
+    rows.append(["ntg throughput <= st-graph bound", 1,
+                 int(report.throughput <= report.bound + 1e-9)])
     return rows
 
 

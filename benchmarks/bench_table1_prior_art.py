@@ -6,60 +6,69 @@ Theta~(n^{2/3}) on 2-d grids with 1-bend routing.  This bench measures both
 policies on the published adversarial shapes and checks the *direction* of
 the separations: greedy degrades with n while NTG resists the clogging
 instance, and NTG's grid ratio exceeds its line ratio.
+
+Ported to the :mod:`repro.api` Scenario layer: the line experiment runs
+the registered ``clogging`` workload, the grid experiment the registered
+``congestion-mix`` workload (crossfire + dense box + uniform background),
+all through ``run_batch`` -- every algorithm sees the identical instance
+at each point by the seeding contract.
 """
 
 from __future__ import annotations
 
-from conftest import emit
+from conftest import emit, trim
 
 from repro.analysis.tables import format_table
-from repro.baselines.greedy import run_greedy
-from repro.baselines.nearest_to_go import run_nearest_to_go
-from repro.baselines.offline import offline_bound
-from repro.network.topology import GridNetwork, LineNetwork
-from repro.workloads.adversarial import clogging_instance, grid_crossfire_instance
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
 
-LINE_SIZES = (16, 32, 64)
+LINE_SIZES = trim((16, 32, 64))
+GRID_SIDES = trim((6, 8, 10))
+
+LINE_ALGOS = (
+    AlgorithmSpec("greedy", {"priority": "fifo"}),
+    AlgorithmSpec("greedy", {"priority": "longest"}),
+    AlgorithmSpec("ntg"),
+)
 
 
 def run_line_experiment():
+    scenarios = [
+        Scenario(NetworkSpec("line", (n,), 2, 1),
+                 WorkloadSpec("clogging",
+                              {"duration": n // 2, "shorts_per_node": 1}),
+                 algo, horizon=4 * n)
+        for n in LINE_SIZES
+        for algo in LINE_ALGOS
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for n in LINE_SIZES:
-        net = LineNetwork(n, buffer_size=2, capacity=1)
-        reqs = clogging_instance(net, duration=n // 2, shorts_per_node=1)
-        horizon = 4 * n
-        bound = offline_bound(net, reqs, horizon)
-        g = run_greedy(net, reqs, horizon, priority="fifo").throughput
-        lng = run_greedy(net, reqs, horizon, priority="longest").throughput
-        ntg = run_nearest_to_go(net, reqs, horizon).throughput
+    for i, n in enumerate(LINE_SIZES):
+        fifo, longest, ntg = reports[3 * i:3 * i + 3]
         rows.append([
-            n, len(reqs), bound,
-            bound / max(1, g), bound / max(1, lng), bound / max(1, ntg),
+            n, fifo.requests, fifo.bound,
+            fifo.ratio, longest.ratio, ntg.ratio,
         ])
     return rows
 
 
 def run_grid_experiment():
-    from repro.workloads.adversarial import dense_area_instance
-    from repro.workloads.uniform import uniform_requests
-
+    scenarios = [
+        Scenario(NetworkSpec("grid", (side, side), 2, 1),
+                 WorkloadSpec("congestion-mix",
+                              {"width": side // 2, "area_side": side // 3,
+                               "per_node": 3, "num": 4 * side,
+                               "horizon": 2 * side}),
+                 algo, horizon=8 * side, seed=side)
+        for side in GRID_SIDES
+        for algo in ("greedy", "ntg")
+    ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for side in (6, 8, 10):
-        net = GridNetwork((side, side), buffer_size=2, capacity=1)
-        # crossing streams + a dense source block + background traffic:
-        # the congestion mix where 1-bend routing pays (Section 1.3)
-        reqs = (
-            grid_crossfire_instance(net, width=side // 2)
-            + dense_area_instance(net, area_side=side // 3, per_node=3)
-            + uniform_requests(net, 4 * side, 2 * side, rng=side)
-        )
-        horizon = 8 * side
-        bound = offline_bound(net, reqs, horizon)
-        g = run_greedy(net, reqs, horizon).throughput
-        ntg = run_nearest_to_go(net, reqs, horizon).throughput
+    for i, side in enumerate(GRID_SIDES):
+        greedy, ntg = reports[2 * i:2 * i + 2]
         rows.append([
-            f"{side}x{side}", len(reqs), bound,
-            bound / max(1, g), bound / max(1, ntg),
+            f"{side}x{side}", greedy.requests, greedy.bound,
+            greedy.ratio, ntg.ratio,
         ])
     return rows
 

@@ -9,51 +9,48 @@ One measured row per regime of the paper's Table 2:
 Each row reports the measured expected ratio over seeds with a practical
 sparsification constant; the claim reproduced is that *all three regimes
 work through the same pipeline* with logarithmic-type degradation.
+
+Ported to the :mod:`repro.api` Scenario layer: one declarative
+``Scenario`` per (regime, seed), executed by ``run_batch``.
 """
 
 from __future__ import annotations
 
 import math
 
-from conftest import emit
+from conftest import emit, seeds
 
 from repro.analysis.tables import format_table
-from repro.baselines.offline import offline_bound
-from repro.core.randomized import (
-    LargeBufferLineRouter,
-    RandomizedLineRouter,
-    SmallBufferLineRouter,
-)
-from repro.network.topology import LineNetwork
-from repro.util.rng import spawn_generators
-from repro.workloads.uniform import uniform_requests
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
 
 N = 64
 SEEDS = 6
+LOGN = math.ceil(math.log2(N))
+
+#: (label, algorithm, B, c, horizon) -- one per Table 2 regime
+REGIMES = (
+    ("7.3-7.6: B,c in [1,log n]", "rand", 1, 1, 4 * N),
+    ("7.7: B/c >= log n", "rand-large-buffers", 8 * LOGN, 1, 8 * N),
+    ("7.8: B <= log n <= c", "rand-small-buffers", 2, 2 * LOGN, 4 * N),
+)
 
 
 def run_regimes():
-    logn = math.ceil(math.log2(N))
-    configs = [
-        ("7.3-7.6: B,c in [1,log n]", 1, 1,
-         lambda net, rng: RandomizedLineRouter(net, 4 * N, rng=rng, lam=0.5)),
-        ("7.7: B/c >= log n", 8 * logn, 1,
-         lambda net, rng: LargeBufferLineRouter(net, 8 * N, rng=rng, lam=0.5)),
-        ("7.8: B <= log n <= c", 2, 2 * logn,
-         lambda net, rng: SmallBufferLineRouter(net, 4 * N, rng=rng, lam=0.5)),
+    trials = list(seeds(SEEDS))
+    scenarios = [
+        Scenario(NetworkSpec("line", (N,), B, c),
+                 WorkloadSpec("uniform", {"num": 3 * N, "horizon": N}),
+                 AlgorithmSpec(algo, {"lam": 0.5}),
+                 horizon=horizon, seed=seed)
+        for _, algo, B, c, horizon in REGIMES
+        for seed in trials
     ]
+    reports = run_batch(scenarios, workers=2)
     rows = []
-    for label, B, c, make in configs:
-        net = LineNetwork(N, buffer_size=B, capacity=c)
-        horizon = 8 * N if B > logn else 4 * N
-        tputs, bounds = [], []
-        for rng in spawn_generators(41, SEEDS):
-            reqs = uniform_requests(net, 3 * N, N, rng=rng)
-            plan = make(net, rng).route(reqs)
-            tputs.append(plan.throughput)
-            bounds.append(offline_bound(net, reqs, horizon))
-        et = sum(tputs) / len(tputs)
-        eb = sum(bounds) / len(bounds)
+    for i, (label, _, B, c, _) in enumerate(REGIMES):
+        batch = reports[i * len(trials):(i + 1) * len(trials)]
+        et = sum(r.throughput for r in batch) / len(batch)
+        eb = sum(r.bound for r in batch) / len(batch)
         rows.append([label, B, c, eb, eb / max(1e-9, et)])
     return rows
 

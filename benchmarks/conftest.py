@@ -6,20 +6,47 @@ also appends it to ``benchmarks/_output/`` so results survive the pytest
 capture.  Benches assert the *shape* of each result (who wins, growth
 trends), not absolute numbers.
 
-The whole suite runs on either simulation engine: ``REPRO_ENGINE=fast``
-routes every greedy/NTG/plan run through the array-backed
-:class:`~repro.network.fast_engine.FastEngine` (policies the fast engine
-cannot vectorize fall back to the reference simulator); the default is the
-reference engine.  See :mod:`repro.network.engine`.
+Every bench drives :func:`repro.api.run_batch` over declarative
+:class:`~repro.api.Scenario` lists, which buys three suite-wide switches:
+
+* ``REPRO_ENGINE=fast`` routes every greedy/NTG/plan run through the
+  array-backed :class:`~repro.network.fast_engine.FastEngine` with
+  bit-identical results (policies the fast engine cannot vectorize fall
+  back to the reference simulator);
+* ``REPRO_CACHE=<dir>`` replays previously computed scenario reports
+  from the content-addressed result cache (:mod:`repro.api.cache`) --
+  a warmed second pass of the suite recomputes (almost) nothing and
+  emits byte-identical ``E*`` output files.  The per-session hit/miss
+  totals are printed at the end of the run (CI asserts them);
+* ``REPRO_BENCH_SMOKE=1`` trims sweeps to their first points for fast
+  CI passes (shape assertions that need a trend keep two points).
+
+Timing-dependent tables (the ``ENGINE_*`` outputs of ``bench_engine``)
+are cache-exempt by design and excluded from byte-identity checks.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
+
+#: smoke mode: shrink every sweep so the whole suite runs in CI minutes
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def trim(seq, keep: int = 2) -> tuple:
+    """The sweep points to run: all of ``seq``, or the first ``keep`` in
+    smoke mode (two by default, so growth assertions keep a trend)."""
+    return tuple(seq)[:keep] if SMOKE else tuple(seq)
+
+
+def seeds(n: int, smoke_n: int = 2) -> range:
+    """Trial seeds: ``range(n)``, shrunk to ``smoke_n`` in smoke mode."""
+    return range(smoke_n if SMOKE else n)
 
 
 def emit(name: str, text: str) -> None:
@@ -38,3 +65,15 @@ def once(benchmark):
                                   rounds=1, iterations=1)
 
     return run
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print the session's aggregate result-cache accounting.
+
+    CI's warmed-cache step greps this line to assert the second pass
+    actually replayed from disk (``hits > 0``).
+    """
+    from repro.api.cache import GLOBAL_STATS
+
+    if GLOBAL_STATS.lookups:
+        terminalreporter.write_line("repro result " + GLOBAL_STATS.summary())

@@ -69,8 +69,10 @@ from repro.api.registry import (
     topology_names,
     workload_names,
 )
+from repro.api.cache import CacheStats, ResultCache
 from repro.api.spec import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec
 from repro.api.run import (
+    BatchResult,
     RunReport,
     ScenarioError,
     load_scenarios,
@@ -82,6 +84,9 @@ from repro.api.run import (
 __all__ = [
     "ALGORITHMS",
     "AlgorithmSpec",
+    "BatchResult",
+    "CacheStats",
+    "ResultCache",
     "NetworkSpec",
     "Registry",
     "RegistryEntry",

@@ -1,14 +1,15 @@
-"""Built-in topology registrations.
+"""Built-in registrations for the network substrate.
 
-Topologies are registered here rather than in
-:mod:`repro.network.topology` so that the network substrate keeps zero
-knowledge of the API layer (everything else -- algorithms, workloads --
-registers itself in its home module, one import level further up).
+Topologies (and the Model 2 node-semantics baseline) are registered here
+rather than in :mod:`repro.network` so that the network substrate keeps
+zero knowledge of the API layer (everything else -- algorithms,
+workloads -- registers itself in its home module, one import level
+further up).
 """
 
 from __future__ import annotations
 
-from repro.api.registry import register_topology
+from repro.api.registry import register_algorithm, register_topology
 from repro.network.topology import GridNetwork, LineNetwork
 from repro.util.errors import ValidationError
 
@@ -23,3 +24,31 @@ def _build_line(dims, buffer_size, capacity):
 @register_topology("grid", description="uni-directional d-dimensional grid")
 def _build_grid(dims, buffer_size, capacity):
     return GridNetwork(dims, buffer_size=buffer_size, capacity=capacity)
+
+
+def _model2_requires(network, horizon) -> str | None:
+    if network.d != 1:
+        return "targets lines (d = 1)"
+    if network.capacity != 1:
+        return "Model 2 is defined for unit link capacity (c = 1)"
+    return None
+
+
+@register_algorithm(
+    "ntg-model2",
+    description="nearest-to-go under node Model 2 ([AZ05, AKK09], App. F): "
+    "everything transits the buffer, so a node moves <= B packets per step",
+    requires=_model2_requires,
+)
+def _run_ntg_model2(network, requests, horizon, *, rng=None, engine=None):
+    # Model 2 has its own two-phase dynamics; there is no fast-engine
+    # vectorization for it, so the engine argument is accepted (uniform
+    # signature) and ignored
+    from repro.network.node_models import Model2LineSimulator
+    from repro.network.simulator import SimulationResult
+    from repro.network.trace import TraceRecorder
+
+    outcome = Model2LineSimulator(network).run(requests, horizon)
+    return SimulationResult(stats=outcome.stats, status=outcome.status,
+                            trace=TraceRecorder(enabled=False),
+                            engine="reference")

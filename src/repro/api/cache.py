@@ -1,0 +1,198 @@
+"""Content-addressed on-disk cache of :class:`~repro.api.run.RunReport`.
+
+Large parameter sweeps re-run thousands of identical ``(network,
+workload, algorithm, seed)`` points across benches and sessions.  Every
+such point is a :class:`~repro.api.spec.Scenario`, every scenario has a
+stable cross-process digest, and the engine contract (enforced by
+``tests/test_differential.py``) makes the digest *content-addressing*:
+two scenarios with equal digests produce bit-identical reports no matter
+which engine or worker count runs them.  So a report computed once can
+be replayed forever -- this module is that store.
+
+Layout and key
+--------------
+One JSON file per report under ``<root>/v<SCHEMA_VERSION>/``, named by
+the scenario digest (zero-padded hex).  The payload embeds the schema
+version *and* the full serialized report; on read the stored scenario's
+:meth:`~repro.api.spec.Scenario.key` is compared against the requested
+one, so a CRC-32 digest collision degrades to a cache miss, never to a
+wrong result.  Because :meth:`Scenario.digest` excludes the ``engine``
+field by design, a fast-engine run hits an entry written by a
+reference-engine run (and vice versa) -- that is the point.
+
+Entries that fail to parse, carry a different schema version, or belong
+to a colliding scenario are *ignored* (counted in
+:attr:`CacheStats.invalid` / treated as misses) and overwritten on the
+next ``readwrite`` run; corruption can cost time, never correctness.
+
+Configuration
+-------------
+* ``REPRO_CACHE`` (environment) -- cache directory; when set, ``run`` /
+  ``run_batch`` default to ``"readwrite"`` instead of ``"off"``, which is
+  how CI warms and replays the bench suite without touching every call
+  site.  Default directory otherwise: ``~/.cache/repro``.
+* ``cache="off" | "read" | "readwrite"`` -- threaded through
+  :func:`repro.api.run.run`, :func:`repro.api.run.run_batch`, and the CLI
+  (``--cache``).  ``"off"`` never touches the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+#: bump when the RunReport JSON layout changes incompatibly; old entries
+#: are then ignored (recomputed and rewritten), not misread
+SCHEMA_VERSION = 1
+
+MODES = ("off", "read", "readwrite")
+
+#: environment variable naming the cache directory (and, by being set,
+#: switching the default mode from "off" to "readwrite")
+ENV_DIR = "REPRO_CACHE"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one batch (or one process)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid: int = 0  # corrupted / legacy-schema / colliding entries seen
+
+    def add(self, other: "CacheStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.invalid += other.invalid
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def summary(self) -> str:
+        return (
+            f"cache: hits={self.hits} misses={self.misses} "
+            f"stores={self.stores} invalid={self.invalid} "
+            f"hit_rate={self.hit_rate:.1%}"
+        )
+
+
+#: process-wide aggregate over every cache-enabled run/run_batch call --
+#: what the bench conftest prints at session end so CI can assert the
+#: warmed second pass actually replayed from disk
+GLOBAL_STATS = CacheStats()
+
+
+def default_root() -> pathlib.Path:
+    env = os.environ.get(ENV_DIR)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def resolve_mode(cache: str | None) -> str:
+    """Normalize the ``cache=`` argument of run/run_batch.
+
+    ``None`` means "default": ``"readwrite"`` when the ``REPRO_CACHE``
+    environment variable selects a directory, ``"off"`` otherwise -- so
+    explicitly configured environments (CI, sweep boxes) get caching for
+    free while bare test runs never touch the user's home directory.
+    """
+    if cache is None:
+        return "readwrite" if os.environ.get(ENV_DIR) else "off"
+    if cache not in MODES:
+        raise ValidationError(
+            f"cache mode must be one of {MODES}, got {cache!r}")
+    return cache
+
+
+class ResultCache:
+    """The on-disk store; one instance per directory.
+
+    All methods are safe against concurrent readers and (best-effort)
+    concurrent writers: entries are written to a temporary file and
+    atomically renamed into place.
+    """
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root) if root is not None else default_root()
+        self.stats = CacheStats()
+
+    def entry_path(self, scenario) -> pathlib.Path:
+        return (self.root / f"v{SCHEMA_VERSION}"
+                / f"{scenario.digest():08x}.json")
+
+    def load(self, scenario, require_bound: bool = True):
+        """Return the cached :class:`RunReport` for ``scenario``, or ``None``.
+
+        ``require_bound=False`` accepts entries whose offline bound was
+        skipped (``compute_bound=False`` runs); the default insists on a
+        finite bound so bound-skipping producers cannot starve
+        bound-needing consumers.
+        """
+        import math
+
+        from repro.api.run import RunReport
+
+        path = self.entry_path(scenario)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        try:
+            if not isinstance(payload, dict) \
+                    or payload.get("schema") != SCHEMA_VERSION:
+                raise ValidationError("unknown cache entry schema")
+            report = RunReport.from_dict(payload["report"])
+        except (ValidationError, KeyError, TypeError, AttributeError):
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        # digest collision guard: Scenario.key() excludes the engine, so a
+        # cross-engine hit passes while a genuine CRC collision misses
+        if report.scenario.key() != scenario.key():
+            self.stats.invalid += 1
+            self.stats.misses += 1
+            return None
+        if require_bound and not math.isfinite(report.bound):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        # rebind to the *requested* scenario (it may name another engine);
+        # report.engine keeps naming the engine that produced the numbers
+        if report.scenario != scenario:
+            report = report.replace(scenario=scenario)
+        return report
+
+    def store(self, report) -> None:
+        path = self.entry_path(report.scenario)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": SCHEMA_VERSION, "report": report.to_dict()}
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+
+    def flush_stats(self) -> CacheStats:
+        """Fold this instance's counters into :data:`GLOBAL_STATS` and
+        return a snapshot (run/run_batch call this once per batch)."""
+        snapshot = CacheStats(self.stats.hits, self.stats.misses,
+                              self.stats.stores, self.stats.invalid)
+        GLOBAL_STATS.add(snapshot)
+        self.stats = CacheStats()
+        return snapshot

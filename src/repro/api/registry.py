@@ -40,6 +40,7 @@ _PROVIDER_MODULES = (
     "repro.baselines.nearest_to_go",
     "repro.core.deterministic",
     "repro.core.randomized",
+    "repro.packing.ipp",
     "repro.workloads",
 )
 
@@ -245,6 +246,10 @@ def planner_adapter(factory, label: str, takes_rng: bool = False):
                               horizon, engine=engine)
         if not plan.consistent_with_simulation(result):
             raise ReproError(f"{label}: plan/simulation mismatch")
+        # surface the router's accounting (framework/detailed counters,
+        # tile side k, ...) to RunReport.meta -- what lets the benches
+        # read per-part breakdowns without re-running the router
+        result.plan_meta = plan.meta
         return result
 
     runner.__name__ = f"run_{label}"

@@ -11,15 +11,25 @@ a process pool (the same machinery as ``analysis.runner.sweep``).  Because
 every scenario derives all of its randomness from its own ``(seed,
 digest)`` -- see :mod:`repro.api.spec` -- batch output is bit-identical to
 the serial run for any worker count.
+
+Both accept ``cache="off" | "read" | "readwrite"`` (default: ``"off"``,
+or ``"readwrite"`` when the ``REPRO_CACHE`` environment variable names a
+cache directory): repeated sweeps then replay identical points from the
+content-addressed store in :mod:`repro.api.cache` instead of recomputing
+them.  ``run_batch`` resolves every hit in the parent process *before*
+sharding, so a fully warmed batch spawns no workers, builds no instances,
+and computes no offline bounds at all.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
+from repro.api.cache import CacheStats, ResultCache, resolve_mode
 from repro.api.registry import ALGORITHMS, WORKLOADS
 from repro.api.spec import Scenario
 from repro.network.engine import resolve_engine_name
@@ -51,13 +61,57 @@ def _instance_bound(scenario: Scenario, network, requests) -> float:
     return value
 
 
-@dataclass(frozen=True)
+def _jsonable(value):
+    """Strip ``value`` down to what survives a JSON round-trip unchanged.
+
+    Plan metadata is arbitrarily rich (counters, phases, parameter
+    objects); a :class:`RunReport` must compare equal to its own
+    cache-replayed copy, so ``meta`` keeps only JSON-representable data
+    -- tuples become lists, non-representable objects are dropped.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                continue
+            v = _jsonable(v)
+            if v is not _DROP:
+                out[k] = v
+        return out
+    if isinstance(value, (list, tuple)):
+        items = [_jsonable(v) for v in value]
+        return [v for v in items if v is not _DROP]
+    return _DROP
+
+
+_DROP = object()
+
+
+def _nan_safe_eq(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (math.isnan(a) and math.isnan(b))
+    return a == b
+
+
+#: fields compared by RunReport.__eq__ -- every measured quantity, but not
+#: the wall-clock timings (reruns and cache replays must compare equal)
+_COMPARED_FIELDS = (
+    "scenario", "requests", "throughput", "bound", "late", "rejected",
+    "preempted", "latency_mean", "latency_max", "steps", "engine", "meta",
+)
+
+
+@dataclass(frozen=True, eq=False)
 class RunReport:
     """Self-describing outcome of one scenario run.
 
-    ``wall_time`` is excluded from equality so that reports from reruns
-    (or from serial-vs-pooled execution) compare bit-identical whenever
-    the measured quantities agree.
+    ``wall_time``/``engine_time`` are excluded from equality so that
+    reports from reruns (or from serial-vs-pooled execution, or replayed
+    from the result cache) compare bit-identical whenever the measured
+    quantities agree; nan-valued fields (empty latency, skipped bound)
+    compare equal to nan rather than poisoning the comparison.
     """
 
     scenario: Scenario
@@ -72,6 +126,19 @@ class RunReport:
     steps: int
     engine: str  # engine actually used (after capability fallback)
     wall_time: float = field(compare=False, default=0.0)
+    engine_time: float = field(compare=False, default=0.0)  # algorithm+replay only
+    meta: dict = field(default_factory=dict)  # JSON-safe algorithm metadata
+
+    def __eq__(self, other):
+        if not isinstance(other, RunReport):
+            return NotImplemented
+        return all(
+            _nan_safe_eq(getattr(self, name), getattr(other, name))
+            for name in _COMPARED_FIELDS
+        )
+
+    def replace(self, **changes) -> "RunReport":
+        return dataclasses.replace(self, **changes)
 
     @property
     def ratio(self) -> float:
@@ -100,7 +167,29 @@ class RunReport:
             "steps": self.steps,
             "engine": self.engine,
             "wall_time": self.wall_time,
+            "engine_time": self.engine_time,
+            "meta": self.meta,
         }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunReport":
+        """Inverse of :meth:`to_dict` (``ratio`` is derived and ignored)."""
+        return cls(
+            scenario=Scenario.from_dict(data["scenario"]),
+            requests=int(data["requests"]),
+            throughput=int(data["throughput"]),
+            bound=float(data["bound"]),
+            late=int(data["late"]),
+            rejected=int(data["rejected"]),
+            preempted=int(data["preempted"]),
+            latency_mean=float(data["latency_mean"]),
+            latency_max=float(data["latency_max"]),
+            steps=int(data["steps"]),
+            engine=data["engine"],
+            wall_time=float(data.get("wall_time", 0.0)),
+            engine_time=float(data.get("engine_time", 0.0)),
+            meta=dict(data.get("meta", {})),
+        )
 
     def summary(self) -> str:
         return (
@@ -130,13 +219,16 @@ def unavailable_reason(scenario: Scenario, network=None) -> str | None:
     return entry.unavailable(network, scenario.horizon)
 
 
-def run(scenario: Scenario) -> RunReport:
-    """Run one scenario and measure it against the offline bound.
+def _open_cache(cache, cache_dir) -> tuple:
+    """``(mode, ResultCache | None)`` for the ``cache=`` arguments."""
+    mode = resolve_mode(cache)
+    if mode == "off":
+        return mode, None
+    return mode, ResultCache(cache_dir)
 
-    Raises :class:`ScenarioError` when the algorithm's registered
-    requirements are not met (use :func:`unavailable_reason` to pre-check),
-    and lets genuine algorithm bugs propagate.
-    """
+
+def _execute(scenario: Scenario, compute_bound: bool) -> RunReport:
+    """The uncached core of :func:`run`."""
     t0 = time.perf_counter()
     entry = ALGORITHMS.get(scenario.algorithm.name)
     network = scenario.network.build()
@@ -146,10 +238,15 @@ def run(scenario: Scenario) -> RunReport:
             f"{scenario.algorithm.name!r} on {scenario.network}: {reason}")
     params = scenario.algorithm.kwargs()
     _, requests = scenario.build_instance(network)
+    t1 = time.perf_counter()
     result = entry.fn(network, requests, scenario.horizon,
                       rng=scenario.rngs()[1], engine=scenario.engine,
                       **params)
-    bound = _instance_bound(scenario, network, requests)
+    engine_time = time.perf_counter() - t1
+    if compute_bound:
+        bound = _instance_bound(scenario, network, requests)
+    else:
+        bound = math.nan
 
     arrivals = {r.rid: r.arrival for r in requests}
     latencies = [t - arrivals[rid] for rid, t in result.stats.delivery_times.items()]
@@ -173,21 +270,70 @@ def run(scenario: Scenario) -> RunReport:
         steps=result.stats.steps,
         engine=engine,
         wall_time=time.perf_counter() - t0,
+        engine_time=engine_time,
+        meta=_jsonable(getattr(result, "plan_meta", {}) or {}),
     )
 
 
-def _run_chunk(scenarios) -> list:
-    """Run one worker's chunk serially; module-level so it pickles."""
-    return [run(s) for s in scenarios]
+def run(scenario: Scenario, *, cache: str | None = None,
+        compute_bound: bool = True) -> RunReport:
+    """Run one scenario and measure it against the offline bound.
+
+    Raises :class:`ScenarioError` when the algorithm's registered
+    requirements are not met (use :func:`unavailable_reason` to pre-check),
+    and lets genuine algorithm bugs propagate.
+
+    ``cache`` selects the result-cache mode (see :mod:`repro.api.cache`);
+    ``compute_bound=False`` skips the (max-flow) offline bound and reports
+    ``bound=nan`` -- for timing comparisons and bound-free audits.
+    """
+    mode, store = _open_cache(cache, None)
+    if store is not None:
+        report = store.load(scenario, require_bound=compute_bound)
+        if report is not None:
+            store.flush_stats()
+            return report
+    report = _execute(scenario, compute_bound)
+    if store is not None:
+        if mode == "readwrite":
+            store.store(report)
+        store.flush_stats()
+    return report
 
 
-def run_batch(scenarios, workers: int | None = None) -> list:
+def _run_chunk(args) -> list:
+    """Run one worker's chunk serially; module-level so it pickles.
+
+    Workers never consult the cache: the parent resolved every hit before
+    sharding and performs the stores itself (single writer)."""
+    scenarios, compute_bound = args
+    return [_execute(s, compute_bound) for s in scenarios]
+
+
+class BatchResult(list):
+    """``run_batch`` output: a plain list of reports, in input order, plus
+    the batch's cache accounting (``None`` when the cache was off)."""
+
+    cache_stats: CacheStats | None = None
+
+
+def run_batch(scenarios, workers: int | None = None, *,
+              cache: str | None = None, cache_dir=None,
+              compute_bound: bool = True) -> BatchResult:
     """Run many scenarios, optionally over a process pool.
 
     Results come back in input order and are bit-identical to the serial
     run for any ``workers`` (each scenario is self-seeded; no state is
     shared across shards).  Scenarios must therefore be fully declarative
     -- which :class:`Scenario` guarantees by construction.
+
+    With the cache on (``cache="read"``/``"readwrite"``, or the
+    ``REPRO_CACHE`` environment variable set), every hit is resolved in
+    the parent process before any sharding happens: warmed points never
+    reach a worker, never materialize their instance, and never trigger
+    an offline-bound (max-flow) computation.  The returned
+    :class:`BatchResult` carries the hit/miss accounting in
+    ``.cache_stats``.
 
     Chunks never split a same-instance group: scenarios that differ only
     in the algorithm land in one worker, so the per-process offline-bound
@@ -198,31 +344,53 @@ def run_batch(scenarios, workers: int | None = None) -> list:
         s if isinstance(s, Scenario) else Scenario.from_dict(s)
         for s in scenarios
     ]
-    if workers is None or workers <= 1 or len(scenarios) <= 1:
-        return [run(s) for s in scenarios]
-
-    groups: dict = {}  # (seed, instance digest) -> input indices
-    for i, scenario in enumerate(scenarios):
-        groups.setdefault((scenario.seed, scenario.instance_digest()),
-                          []).append(i)
-    target = max(1, len(scenarios) // (4 * workers))
-    chunks, current = [], []
-    for indices in groups.values():
-        current.extend(indices)
-        if len(current) >= target:
-            chunks.append(current)
-            current = []
-    if current:
-        chunks.append(current)
-
-    results = [None] * len(scenarios)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        chunk_results = pool.map(
-            _run_chunk, [[scenarios[i] for i in chunk] for chunk in chunks])
-        for chunk, reports in zip(chunks, chunk_results):
-            for i, report in zip(chunk, reports):
+    mode, store = _open_cache(cache, cache_dir)
+    results: list = [None] * len(scenarios)
+    pending = list(range(len(scenarios)))
+    if store is not None:
+        pending = []
+        for i, scenario in enumerate(scenarios):
+            report = store.load(scenario, require_bound=compute_bound)
+            if report is not None:
                 results[i] = report
-    return results
+            else:
+                pending.append(i)
+
+    if workers is None or workers <= 1 or len(pending) <= 1:
+        for i in pending:
+            results[i] = _execute(scenarios[i], compute_bound)
+    else:
+        groups: dict = {}  # (seed, instance digest) -> pending indices
+        for i in pending:
+            scenario = scenarios[i]
+            groups.setdefault((scenario.seed, scenario.instance_digest()),
+                              []).append(i)
+        target = max(1, len(pending) // (4 * workers))
+        chunks, current = [], []
+        for indices in groups.values():
+            current.extend(indices)
+            if len(current) >= target:
+                chunks.append(current)
+                current = []
+        if current:
+            chunks.append(current)
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            chunk_results = pool.map(
+                _run_chunk,
+                [([scenarios[i] for i in chunk], compute_bound)
+                 for chunk in chunks])
+            for chunk, reports in zip(chunks, chunk_results):
+                for i, report in zip(chunk, reports):
+                    results[i] = report
+
+    batch = BatchResult(results)
+    if store is not None:
+        if mode == "readwrite":
+            for i in pending:
+                store.store(results[i])
+        batch.cache_stats = store.flush_stats()
+    return batch
 
 
 def load_scenarios(path) -> list:

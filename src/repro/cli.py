@@ -180,7 +180,7 @@ def _scenario(args, algorithm: str) -> Scenario:
     )
 
 
-def _scoreboard_rows(scenarios, network) -> list:
+def _scoreboard_rows(scenarios, network, cache=None) -> list:
     """``[name, throughput | "n/a (reason)"]`` rows plus the bound row.
 
     Capability checks from the registry decide the n/a rows; anything
@@ -192,7 +192,7 @@ def _scoreboard_rows(scenarios, network) -> list:
         if reason is not None:
             rows.append([scenario.algorithm.name, f"n/a ({reason})"])
             continue
-        report = run(scenario)
+        report = run(scenario, cache=cache)
         rows.append([scenario.algorithm.name, report.throughput])
         bound = report.bound
     if bound is None:  # every algorithm was unavailable
@@ -218,7 +218,7 @@ def cmd_demo(args) -> int:
         for name in ("rand", "greedy", "ntg")
     ]
     print(format_table(["algorithm", "throughput"],
-                       _scoreboard_rows(scenarios, network),
+                       _scoreboard_rows(scenarios, network, cache=args.cache),
                        title=f"demo on {network} ({workload})"))
     return 0
 
@@ -241,7 +241,7 @@ def cmd_route(args) -> int:
         scenario = _scenario(args, args.algorithm)
     else:
         raise SystemExit("route: an algorithm name or --spec is required")
-    report = run(scenario)
+    report = run(scenario, cache=args.cache)
     print(format_table(
         ["algorithm", "requests", "throughput", "bound", "ratio", "engine"],
         [[scenario.algorithm.name, report.requests, report.throughput,
@@ -255,7 +255,7 @@ def cmd_compare(args) -> int:
     scenarios = [_scenario(args, name) for name in args.algorithms]
     network = scenarios[0].network.build()
     print(format_table(["algorithm", "throughput"],
-                       _scoreboard_rows(scenarios, network),
+                       _scoreboard_rows(scenarios, network, cache=args.cache),
                        title=f"{network}"))
     return 0
 
@@ -274,7 +274,8 @@ def cmd_sweep(args) -> int:
                        f"n/a ({reason})", "", "", "", ""]
         else:
             runnable.append((i, scenario))
-    reports = run_batch([s for _, s in runnable], workers=args.workers)
+    reports = run_batch([s for _, s in runnable], workers=args.workers,
+                        cache=args.cache)
     for (i, scenario), report in zip(runnable, reports):
         rows[i] = [scenario.algorithm.name, str(scenario.network),
                    str(scenario.workload), scenario.seed, report.throughput,
@@ -287,6 +288,8 @@ def cmd_sweep(args) -> int:
         title=f"sweep over {len(scenarios)} scenarios "
               f"(workers={args.workers or 1})",
     ))
+    if reports.cache_stats is not None:
+        print(reports.cache_stats.summary())
     return 0
 
 
@@ -346,6 +349,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("reference", "fast"), default=None,
         help="simulation engine (default: REPRO_ENGINE env var or reference)",
     )
+    cache_kwargs = dict(
+        choices=("off", "read", "readwrite"), default=None,
+        help="result-cache mode; the cache directory comes from the "
+        "REPRO_CACHE env var (default ~/.cache/repro).  Default mode: "
+        "readwrite when REPRO_CACHE is set, else off",
+    )
 
     p = sub.add_parser("demo", help="quick scoreboard on a line")
     p.add_argument("-n", type=int, default=64)
@@ -354,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--algorithm-arg", action="append", metavar="KEY=VALUE")
     p.add_argument("--engine", **engine_kwargs)
+    p.add_argument("--cache", **cache_kwargs)
     p.set_defaults(fn=cmd_demo)
 
     common = argparse.ArgumentParser(add_help=False)
@@ -377,6 +387,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "lam=0.1 or priority=longest")
     common.add_argument("--seed", type=int, default=_COMMON_DEFAULTS["seed"])
     common.add_argument("--engine", **engine_kwargs)
+    common.add_argument("--cache", **cache_kwargs)
 
     p = sub.add_parser("route", parents=[common],
                        help="run one algorithm or a --spec file")
@@ -394,6 +405,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="process-pool width (results are bit-identical to "
                    "serial for any value)")
     p.add_argument("--engine", **engine_kwargs)
+    p.add_argument("--cache", **cache_kwargs)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser("list", help="registered algorithms/workloads/topologies")

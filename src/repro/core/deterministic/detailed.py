@@ -491,7 +491,19 @@ class DetailedRouting:
         t = self.graph.vertex_time(pos)
         deadline = build.request.deadline
         if deadline is not None and t > deadline:
-            self.truncate(build.rid, len(build.moves), "deadline_miss")
+            # cut strictly before the first spatial arrival at the
+            # destination: truncating at len(moves) would keep the full
+            # path and the replay would deliver the packet *late*,
+            # violating the Section 5.4 invariant (delivered => on time)
+            dest = build.request.dest
+            v = build.start
+            cut = len(build.moves)
+            for i, axis in enumerate(build.moves):
+                v = advance(v, axis, 1)
+                if v[:-1] == dest:
+                    cut = i
+                    break
+            self.truncate(build.rid, cut, "deadline_miss")
             return RouteOutcome.PREEMPTED
         build.delivered_time = t
         return RouteOutcome.DELIVERED

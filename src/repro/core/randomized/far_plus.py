@@ -75,6 +75,7 @@ class FarPlusRouter(Router):
         # rejections, preserving soundness and non-preemption (measured in
         # bench E13, documented in DESIGN.md).
         self.counters = {
+            "ipp_accepted": 0,
             "ipp_rejected": 0,
             "coin_rejected": 0,
             "load_rejected": 0,
@@ -83,6 +84,10 @@ class FarPlusRouter(Router):
             "lasttile_rejected": 0,
             "delivered": 0,
             "no_sink": 0,
+            # invariant 3 (Section 7.4): every committed path enters tiles
+            # only through the right half of south sides / upper half of
+            # west sides.  Audited at commit time; the paper proves 0.
+            "invariant3_violations": 0,
         }
 
     # -- classification helpers (shared with the combined router) -----------
@@ -131,6 +136,7 @@ class FarPlusRouter(Router):
         if sketch_path is None:
             self.counters["ipp_rejected"] += 1
             return RouteOutcome.REJECTED, None
+        self.counters["ipp_accepted"] += 1
         # plane index: i-th IPP-accepted request at this source event
         qstate = self._qstate(self.tiling.tile_of(src))
         qstate.arrivals[src] = qstate.arrivals.get(src, 0) + 1
@@ -248,7 +254,33 @@ class FarPlusRouter(Router):
                 qstate.north_exits += 1
         start = src
         path_moves = tuple(axis for axis, _ in cells)
-        return STPath(start, path_moves, rid=request.rid)
+        path = STPath(start, path_moves, rid=request.rid)
+        self.counters["invariant3_violations"] += self._audit_invariant3(path)
+        return path
+
+    def _audit_invariant3(self, path: STPath) -> int:
+        """Tile-boundary crossings of ``path`` violating invariant 3.
+
+        A committed path may enter a tile only through the right half of
+        its south side (northward moves) or the upper half of its west
+        side (eastward moves); Section 7.4 proves the quadrant discipline
+        keeps this exact.  Counted here, at commit time, so every
+        consumer of the plan meta (bench E13) sees the audit without
+        re-walking paths.
+        """
+        Q, tau = self.params.Q, self.params.tau
+        bad = 0
+        v = path.start
+        for move in path.moves:
+            head = (v[0] + 1, v[1]) if move == NORTH else (v[0], v[1] + 1)
+            if self.tiling.tile_of(head) != self.tiling.tile_of(v):
+                loc = self.tiling.local(head)
+                if move == NORTH:  # entering through the south side
+                    bad += loc[1] < tau // 2
+                else:  # entering through the west side
+                    bad += loc[0] < Q // 2
+            v = head
+        return bad
 
     def _through_tile(self, cells, pos, tile, entry, exit_axis):
         """Route across one (non-final) tile; returns the position inside

@@ -101,6 +101,7 @@ class Model2LineSimulator:
                         status[pkt.rid] = (
                             DeliveryStatus.DELIVERED if on_time else DeliveryStatus.LATE
                         )
+                        stats.delivery_times[pkt.rid] = t
                         stats.delivered += on_time
                         stats.late += not on_time
                     else:

@@ -146,3 +146,43 @@ def grid_crossfire_instance(network: GridNetwork, width: int | None = None,
         for t in range(width):
             out.append(Request((x, 0), (x, ly - 1), t))
     return out
+
+
+@register_workload(
+    "separation",
+    description="Appendix F remark 1: a transit packet meets a local "
+    "injection at one node (the B = c = 1 node-model separation instance)",
+    requires=_line_only,
+)
+def separation_requests(network: LineNetwork) -> list:
+    """The two-request instance separating the node models at ``B = c = 1``.
+
+    One packet travels ``0 -> 2``; a second is injected at node 1 exactly
+    when the first arrives there.  Model 1 keeps both (forward one, store
+    the other); Model 2 must funnel both through the single buffer slot
+    and drops one.
+    """
+    if network.length < 3:
+        raise ValidationError("separation instance needs a line of length >= 3")
+    return [Request.line(0, 2, 0), Request.line(1, 2, 1)]
+
+
+@register_workload(
+    "congestion-mix",
+    description="crossfire streams + a dense low-corner box + uniform "
+    "background: the Section 1.3 congestion mix where 1-bend routing pays",
+    requires=_grid2d_only,
+)
+def congestion_mix_instance(network: GridNetwork, area_side: int,
+                            per_node: int, num: int, horizon: int,
+                            rng=None, width: int | None = None) -> list:
+    """Crossing streams, a dense source block, and background traffic on a
+    2-d grid -- the workload of the Table 1 grid baseline bench (E1)."""
+    from repro.workloads.uniform import uniform_requests
+
+    rng = as_generator(rng)
+    return (
+        grid_crossfire_instance(network, width=width, rng=rng)
+        + dense_area_instance(network, area_side=area_side, per_node=per_node)
+        + uniform_requests(network, num, horizon, rng=rng)
+    )

@@ -165,3 +165,28 @@ class TestIdenticalIntervalPreemption:
         )
         report = run(scenario)  # run() replays the plan; it must not raise
         assert report.throughput > 0
+
+
+class TestDeadlineMissTruncation:
+    def test_deadline_miss_is_preempted_not_late(self):
+        """Regression (E12 port): a packet whose detailed path overshoots
+        its deadline used to be 'truncated' at full length, so the replay
+        delivered it late -- violating the Section 5.4 invariant
+        (delivered => on time).  The truncation must cut strictly before
+        the destination so the replay preempts instead."""
+        from repro.api import NetworkSpec, Scenario, WorkloadSpec, run
+
+        for seed in range(3):
+            report = run(Scenario(
+                network=NetworkSpec("line", (32,), 3, 3),
+                workload=WorkloadSpec("deadline", {"num": 96, "horizon": 32,
+                                                   "slack": 2}),
+                algorithm="det",
+                horizon=128,
+                seed=seed,
+            ))
+            assert report.late == 0
+            # the specific instances above all contain a deadline miss;
+            # the miss must surface as a detailed-routing preemption
+            assert report.meta["detailed"]["deadline_miss"] >= 1
+            assert report.preempted >= report.meta["detailed"]["deadline_miss"]

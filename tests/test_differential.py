@@ -1,0 +1,159 @@
+"""Cross-engine / cross-worker differential fuzz (hypothesis-driven).
+
+The result cache and the scenario digests rest on one invariant: a
+``Scenario`` determines its ``RunReport`` bit-identically, no matter
+which engine executes it (``engine`` is excluded from the digest) and no
+matter how ``run_batch`` shards it over workers.  PR 1/PR 2 spot-checked
+this on hand-picked instances; here hypothesis hunts for counterexamples
+over random small scenarios spanning both topologies, every registered
+stochastic workload, and the greedy/NTG/planner algorithm families.
+
+A failure here means the cache would serve wrong results -- fix the
+engine divergence before touching the cache.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import (
+    NetworkSpec,
+    Scenario,
+    WorkloadSpec,
+    run,
+    run_batch,
+    unavailable_reason,
+)
+
+#: measured RunReport fields that must agree bit-for-bit
+MEASURES = ("requests", "throughput", "bound", "late", "rejected",
+            "preempted", "latency_mean", "latency_max", "steps")
+
+
+def _same(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float) \
+            and math.isnan(a) and math.isnan(b):
+        return True
+    return a == b
+
+
+def assert_reports_identical(a, b, context: str) -> None:
+    for field in MEASURES:
+        assert _same(getattr(a, field), getattr(b, field)), (
+            f"{context}: {field} diverged: {getattr(a, field)!r} != "
+            f"{getattr(b, field)!r} for {a.scenario}"
+        )
+    assert a.meta == b.meta, f"{context}: meta diverged for {a.scenario}"
+
+
+@st.composite
+def networks(draw):
+    if draw(st.booleans()):
+        n = draw(st.integers(4, 12))
+        dims = (n,)
+        kind = "line"
+    else:
+        side = draw(st.integers(3, 5))
+        dims = (side, side)
+        kind = "grid"
+    B = draw(st.sampled_from((0, 1, 2, 3)))
+    c = draw(st.integers(1, 3))
+    return NetworkSpec(kind, dims, buffer_size=B, capacity=c)
+
+
+@st.composite
+def workloads(draw, horizon: int):
+    name = draw(st.sampled_from(
+        ("uniform", "poisson", "bursty", "permutation", "deadline")))
+    if name == "uniform":
+        params = {"num": draw(st.integers(1, 30)), "horizon": horizon}
+    elif name == "poisson":
+        params = {"rate": draw(st.sampled_from((0.3, 1.0, 2.5))),
+                  "horizon": horizon}
+    elif name == "bursty":
+        params = {"bursts": draw(st.integers(1, 4)),
+                  "burst_size": draw(st.integers(1, 6)),
+                  "horizon": horizon,
+                  "spread": draw(st.integers(0, 2))}
+    elif name == "permutation":
+        params = {"rounds": draw(st.integers(1, 3)),
+                  "window": draw(st.integers(1, 4))}
+    else:  # deadline
+        params = {"num": draw(st.integers(1, 20)), "horizon": horizon,
+                  "slack": draw(st.integers(0, 8)),
+                  "jitter": draw(st.integers(0, 3))}
+    return WorkloadSpec(name, params)
+
+
+@st.composite
+def algorithms(draw):
+    name = draw(st.sampled_from(("greedy", "ntg", "det", "bufferless")))
+    if name == "greedy":
+        priority = draw(st.sampled_from(("fifo", "lifo", "longest")))
+        return {"name": "greedy", "params": {"priority": priority}}
+    return name
+
+
+@st.composite
+def scenarios(draw):
+    network = draw(networks())
+    span = sum(network.dims)
+    horizon = draw(st.integers(span, 4 * span))
+    return Scenario(
+        network=network,
+        workload=draw(workloads(horizon=max(1, horizon // 2))),
+        algorithm=draw(algorithms()),
+        horizon=horizon,
+        seed=draw(st.integers(0, 2**32 - 1)),
+    )
+
+
+def runnable(scenario) -> bool:
+    return unavailable_reason(scenario) is None
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(scenarios())
+def test_engines_bit_identical(scenario):
+    """run(s) is identical under engine=reference and engine=fast."""
+    hypothesis.assume(runnable(scenario))
+    ref = run(scenario.replace(engine="reference"))
+    fast = run(scenario.replace(engine="fast"))
+    assert_reports_identical(ref, fast, "reference vs fast")
+    # and both agree with the digest contract: engine never enters it
+    assert scenario.replace(engine="reference").digest() \
+        == scenario.replace(engine="fast").digest()
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(st.lists(scenarios(), min_size=3, max_size=8))
+def test_workers_bit_identical(batch):
+    """run_batch(workers=1) == run_batch(workers=4), element-wise."""
+    batch = [s for s in batch if runnable(s)]
+    hypothesis.assume(len(batch) >= 2)
+    serial = run_batch(batch, workers=1)
+    pooled = run_batch(batch, workers=4)
+    for one, many in zip(serial, pooled):
+        assert_reports_identical(one, many, "serial vs pooled")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(scenarios())
+def test_serialization_round_trip_identical(scenario):
+    """A scenario that survived JSON still produces the same report --
+    the cache stores scenarios as JSON, so this is load-bearing."""
+    hypothesis.assume(runnable(scenario))
+    clone = Scenario.from_json(scenario.to_json())
+    assert clone.digest() == scenario.digest()
+    assert_reports_identical(run(scenario), run(clone), "json round-trip")
