@@ -11,11 +11,21 @@ Ported to the :mod:`repro.api` Scenario layer: Model 2 is the registered
 ``separation`` workload, and both experiments run through ``run_batch``
 -- by the seeding contract the two models see identical request
 sequences at every (n, seed) point.
+
+Since PR 4 the whole experiment runs on *both* engines: ``ntg-model2``
+rides the vectorized two-phase :class:`FastModel2Engine` under
+``engine="fast"``, and every E14 point asserts reference/fast
+bit-identity before reporting.  ``test_model2_engine_speedup`` pins the
+payoff (fast >= 3x on the E14 sweep scale); like every wall-clock table
+it runs with ``cache="off"`` and emits an ``ENGINE_*`` output, which is
+exempt from CI's byte-identity check.
 """
 
 from __future__ import annotations
 
-from conftest import emit, seeds, trim
+from conftest import SMOKE, emit, seeds, trim
+
+import pytest
 
 from repro.analysis.tables import format_table
 from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
@@ -23,16 +33,34 @@ from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
 SIZES = trim((16, 32, 64))
 TRIALS = 4
 MODELS = ("ntg", "ntg-model2")
+ENGINES = ("reference", "fast")
+
+#: measured fields that must be bit-identical across engines
+_MEASURES = ("throughput", "late", "rejected", "preempted", "steps",
+             "latency_mean", "latency_max")
+
+
+def _same(a, b) -> bool:
+    return a == b or (a != a and b != b)  # nan-safe
+
+
+def _assert_engine_parity(ref, fast, context: str) -> None:
+    for field in _MEASURES:
+        assert _same(getattr(ref, field), getattr(fast, field)), (
+            f"{context}: {field} diverged across engines")
 
 
 def run_separation():
     scenarios = [
         Scenario(NetworkSpec("line", (3,), 1, 1), WorkloadSpec("separation"),
-                 algo, horizon=10)
+                 algo, horizon=10, engine=engine)
         for algo in MODELS
+        for engine in ENGINES
     ]
-    m1, m2 = run_batch(scenarios)
-    return [["separation (B=c=1)", m1.throughput, m2.throughput]]
+    m1_ref, m1_fast, m2_ref, m2_fast = run_batch(scenarios)
+    _assert_engine_parity(m1_ref, m1_fast, "separation model 1")
+    _assert_engine_parity(m2_ref, m2_fast, "separation model 2")
+    return [["separation (B=c=1)", m1_ref.throughput, m2_ref.throughput]]
 
 
 def run_model_sweep():
@@ -40,19 +68,30 @@ def run_model_sweep():
     scenarios = [
         Scenario(NetworkSpec("line", (n,), 1, 1),
                  WorkloadSpec("uniform", {"num": 2 * n, "horizon": n}),
-                 algo, horizon=4 * n, seed=seed)
+                 algo, horizon=4 * n, seed=seed, engine=engine)
         for n in SIZES
         for seed in trials
         for algo in MODELS
+        for engine in ENGINES
     ]
     reports = dict(zip(
-        ((s.network.dims[0], s.seed, s.algorithm.name) for s in scenarios),
+        ((s.network.dims[0], s.seed, s.algorithm.name, s.engine)
+         for s in scenarios),
         run_batch(scenarios, workers=2),
     ))
     rows = []
     for n in SIZES:
-        t1 = sum(reports[(n, s, "ntg")].throughput for s in trials)
-        t2 = sum(reports[(n, s, "ntg-model2")].throughput for s in trials)
+        for seed in trials:
+            for algo in MODELS:
+                _assert_engine_parity(
+                    reports[(n, seed, algo, "reference")],
+                    reports[(n, seed, algo, "fast")],
+                    f"E14 sweep n={n} seed={seed} {algo}",
+                )
+        t1 = sum(reports[(n, s, "ntg", "reference")].throughput
+                 for s in trials)
+        t2 = sum(reports[(n, s, "ntg-model2", "reference")].throughput
+                 for s in trials)
         rows.append([n, t1 / len(trials), t2 / len(trials)])
     return rows
 
@@ -79,8 +118,38 @@ def test_model_throughput_sweep(once):
             ["n", "Model 1 NTG", "Model 2 NTG"],
             rows,
             title="E14/Appendix F -- NTG throughput under the two node "
-            "models (Model 1 dominates)",
+            "models (Model 1 dominates; both engines bit-identical)",
         ),
     )
     for row in rows:
         assert row[1] >= row[2]  # Model 1 is strictly stronger
+
+
+@pytest.mark.skipif(SMOKE, reason="speedup floor needs the full-size sweep")
+def test_model2_engine_speedup():
+    """The PR-4 acceptance bar: the vectorized Model 2 engine is >= 3x
+    faster than the per-packet reference loop on the E14 sweep scale."""
+    n = 256
+    net = NetworkSpec("line", (n,), 1, 1)
+    workload = WorkloadSpec("uniform", {"num": 8 * n, "horizon": 2 * n})
+    rows = []
+    speedups = {}
+    for algo in MODELS:
+        ref, fast = run_batch(
+            [Scenario(net, workload, algo, horizon=4 * n, seed=7,
+                      engine=engine) for engine in ENGINES],
+            cache="off", compute_bound=False)
+        _assert_engine_parity(ref, fast, f"speedup instance {algo}")
+        assert ref.engine == "reference" and fast.engine == "fast"
+        speedups[algo] = ref.engine_time / max(1e-9, fast.engine_time)
+        rows.append([algo, ref.throughput, f"{ref.engine_time:.3f}",
+                     f"{fast.engine_time:.3f}", f"{speedups[algo]:.1f}x"])
+    emit(
+        "ENGINE_model2_speedup",
+        format_table(
+            ["algorithm", "throughput", "reference_s", "fast_s", "speedup"],
+            rows,
+            title=f"node-model engine speedup on {net} ({workload})",
+        ),
+    )
+    assert speedups["ntg-model2"] >= 3.0, speedups

@@ -47,7 +47,7 @@ module and every CLI command, bench, and sweep can name it::
     @register_algorithm(
         "my-router",
         requires=lambda net, horizon: None if net.d == 1 else "line only",
-        supports_fast_engine=True,
+        fast_engine="plan",  # replays space-time plans through the engine
     )
     def _run_my_router(network, requests, horizon, *, rng=None,
                        engine=None):

@@ -37,18 +37,15 @@ def _model2_requires(network, horizon) -> str | None:
 @register_algorithm(
     "ntg-model2",
     description="nearest-to-go under node Model 2 ([AZ05, AKK09], App. F): "
-    "everything transits the buffer, so a node moves <= B packets per step",
+    "everything transits the buffer, so a node moves <= B packets per step; "
+    "'priority' picks the phase-0/phase-1 order",
     requires=_model2_requires,
+    fast_engine="vector",
 )
-def _run_ntg_model2(network, requests, horizon, *, rng=None, engine=None):
-    # Model 2 has its own two-phase dynamics; there is no fast-engine
-    # vectorization for it, so the engine argument is accepted (uniform
-    # signature) and ignored
-    from repro.network.node_models import Model2LineSimulator
-    from repro.network.simulator import SimulationResult
-    from repro.network.trace import TraceRecorder
+def _run_ntg_model2(network, requests, horizon, *, rng=None, engine=None,
+                    priority: str = "ntg"):
+    from repro.network.engine import make_engine
+    from repro.network.node_models import Model2Policy
 
-    outcome = Model2LineSimulator(network).run(requests, horizon)
-    return SimulationResult(stats=outcome.stats, status=outcome.status,
-                            trace=TraceRecorder(enabled=False),
-                            engine="reference")
+    sim = make_engine(network, Model2Policy(priority), engine=engine)
+    return sim.run(requests, horizon)

@@ -36,6 +36,7 @@ from repro.util.errors import ReproError, ValidationError
 #: modules whose import populates the built-in registries
 _PROVIDER_MODULES = (
     "repro.api.builtin",
+    "repro.baselines.edd",
     "repro.baselines.greedy",
     "repro.baselines.nearest_to_go",
     "repro.core.deterministic",
@@ -87,8 +88,27 @@ class RegistryEntry:
         return self.metadata.get("description", "")
 
     @property
+    def fast_engine(self) -> str:
+        """How the algorithm's *default* configuration runs under
+        ``REPRO_ENGINE=fast``.
+
+        One of ``"vector"`` (a vectorized decision path: a native
+        decision-ABI policy, a built-in greedy priority, or the dedicated
+        Model 2 vector engine), ``"plan"`` (space-time plan replay),
+        ``"adapter"`` (scalar policy lifted by the batched adapter),
+        ``"yes"`` (legacy boolean metadata) or ``"no"``
+        (engine-independent or reference-only).  Parameters may move an
+        algorithm between paths (e.g. ``edd(adapter=true)`` forces the
+        adapter); the label describes the default.
+        """
+        label = self.metadata.get("fast_engine")
+        if label:
+            return str(label)
+        return "yes" if self.metadata.get("supports_fast_engine") else "no"
+
+    @property
     def supports_fast_engine(self) -> bool:
-        return bool(self.metadata.get("supports_fast_engine", False))
+        return self.fast_engine != "no"
 
     def unavailable(self, network, horizon: int) -> str | None:
         """Why this algorithm cannot run on ``network`` (``None`` when ok)."""
@@ -194,11 +214,16 @@ TOPOLOGIES = Registry("topology", skip_params=("dims", "buffer_size", "capacity"
 
 
 def register_algorithm(name: str, **metadata):
-    """``@register_algorithm("det", requires=..., supports_fast_engine=True)``
+    """``@register_algorithm("det", requires=..., fast_engine="plan")``
 
     The decorated callable must have the uniform signature
     ``fn(network, requests, horizon, *, rng=None, engine=None, **params)``
     and return a :class:`~repro.network.simulator.SimulationResult`.
+
+    ``fast_engine`` labels how the algorithm runs under
+    ``REPRO_ENGINE=fast`` (``"vector"``, ``"plan"``, ``"adapter"`` or
+    ``"no"`` -- see :attr:`RegistryEntry.fast_engine`); the legacy
+    boolean ``supports_fast_engine=True`` is still accepted.
     """
     return ALGORITHMS.register(name, **metadata)
 

@@ -8,18 +8,24 @@
   hops): O~(sqrt(n))-competitive on lines, Theta~(n^{2/3}) on
   2-dimensional grids with 1-bend routing [AKK09]; optimal on bufferless
   lines (Proposition 12).
+* :mod:`repro.baselines.edd` -- earliest-due-date greedy forwarding, the
+  custom-policy exemplar of the vectorized decision ABI (implements both
+  the scalar interface and ``decide_vector``).
 * :mod:`repro.baselines.offline` -- offline bound wrappers used as
   competitive-ratio denominators.
 """
 
+from repro.baselines.edd import EarliestDeadlinePolicy, run_edd
 from repro.baselines.greedy import GreedyPolicy, run_greedy
 from repro.baselines.nearest_to_go import NearestToGoPolicy, run_nearest_to_go
 from repro.baselines.offline import offline_bound
 
 __all__ = [
+    "EarliestDeadlinePolicy",
     "GreedyPolicy",
     "NearestToGoPolicy",
     "offline_bound",
+    "run_edd",
     "run_greedy",
     "run_nearest_to_go",
 ]

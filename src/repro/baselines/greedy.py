@@ -89,7 +89,7 @@ def run_greedy(network: Network, requests, horizon: int,
     "greedy",
     description="work-conserving greedy forwarding ([AKOR03]); "
     "'priority' picks the contention order (fifo/lifo/longest)",
-    supports_fast_engine=True,
+    fast_engine="vector",
 )
 def _greedy_scenario(network, requests, horizon, *, rng=None, engine=None,
                      priority: str = "fifo"):

@@ -64,7 +64,7 @@ def run_nearest_to_go(network: Network, requests, horizon: int,
     "ntg",
     description="nearest-to-go: fewest remaining hops win contention "
     "([AKOR03], [AKK09]); optimal on bufferless lines (Prop. 12)",
-    supports_fast_engine=True,
+    fast_engine="vector",
 )
 def _ntg_scenario(network, requests, horizon, *, rng=None, engine=None):
     return run_nearest_to_go(network, requests, horizon, engine=engine)

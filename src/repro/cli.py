@@ -299,7 +299,7 @@ def cmd_list(args) -> int:
 
     print(format_table(
         ["algorithm", "fast engine", "description"],
-        [[e.name, "yes" if e.supports_fast_engine else "no", e.description]
+        [[e.name, e.fast_engine, e.description]
          for e in ALGORITHMS.entries()],
         title="registered algorithms",
     ))

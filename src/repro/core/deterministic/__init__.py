@@ -34,5 +34,5 @@ register_algorithm(
     description="the deterministic algorithm (Algorithm 1, Sections 4-6); "
     "polylog-competitive on lines and grids",
     requires=_det_requires,
-    supports_fast_engine=True,  # plans replay on the fast engine
+    fast_engine="plan",  # plans replay on the fast engine
 )(planner_adapter(DeterministicRouter, "det"))

@@ -245,7 +245,7 @@ register_algorithm(
     description="optimal planner for B = 0 lines via per-diagonal online "
     "interval packing (Proposition 12)",
     requires=_bufferless_requires,
-    supports_fast_engine=True,
+    fast_engine="plan",
 )(planner_adapter(BufferlessLineRouter, "bufferless"))
 
 register_algorithm(
@@ -253,5 +253,5 @@ register_algorithm(
     description="Theorem 13: IPP on the space-time graph with capacities "
     "scaled by the tile side k (needs B, c >= k)",
     requires=_theorem13_requires,
-    supports_fast_engine=True,
+    fast_engine="plan",
 )(planner_adapter(LargeCapacityRouter, "theorem13"))

@@ -69,7 +69,7 @@ register_algorithm(
     description="the randomized O(log n) classify-and-select algorithm "
     "(Theorem 29; B, c in [1, log n])",
     requires=_rand_requires,
-    supports_fast_engine=True,
+    fast_engine="plan",
 )(planner_adapter(RandomizedLineRouter, "rand", takes_rng=True))
 
 register_algorithm(
@@ -77,7 +77,7 @@ register_algorithm(
     description="Theorem 30 regime: B/c >= log n (half-tile horizontal "
     "I-routing, Section 7.7)",
     requires=_rand_large_requires,
-    supports_fast_engine=True,
+    fast_engine="plan",
 )(planner_adapter(LargeBufferLineRouter, "rand-large-buffers", takes_rng=True))
 
 register_algorithm(
@@ -85,5 +85,5 @@ register_algorithm(
     description="Theorem 31 regime: B <= log n <= c (column slivers, "
     "Section 7.8)",
     requires=_rand_small_requires,
-    supports_fast_engine=True,
+    fast_engine="plan",
 )(planner_adapter(SmallBufferLineRouter, "rand-small-buffers", takes_rng=True))

@@ -1,4 +1,4 @@
-"""Engine selection: the reference simulator vs the array-backed engine.
+"""Engine selection and the vectorized decision ABI.
 
 An *engine* is anything that implements the :class:`Engine` protocol --
 ``run(requests, horizon) -> SimulationResult`` over a fixed network and
@@ -6,11 +6,10 @@ policy.  Two implementations ship:
 
 * ``"reference"`` -- :class:`~repro.network.simulator.Simulator`, the
   per-packet Python loop.  Supports every :class:`Policy`, validates
-  arbitrary decisions, and records traces.  Use it for correctness work,
-  custom policies, and debugging.
+  arbitrary decisions, and records traces.  Use it for correctness work
+  and debugging.
 * ``"fast"`` -- :class:`~repro.network.fast_engine.FastEngine`, the
-  numpy group-by engine.  Supports the greedy family and plan replay with
-  bit-identical results, at a fraction of the wall-clock.  Use it for
+  numpy group-by engine, at a fraction of the wall-clock.  Use it for
   sweeps and large instances.
 
 Resolution order for the engine name: an explicit argument, then the
@@ -18,23 +17,75 @@ Resolution order for the engine name: an explicit argument, then the
 :func:`set_default_engine` (initially ``"reference"``).  The environment
 hook is how the bench suite runs end to end on either engine without
 threading a flag through every experiment.
+
+The vectorized decision ABI
+---------------------------
+The fast engine does not hard-code its policies.  Each time step it
+builds one :class:`StepView` -- the array form of every candidate packet
+that survived delivery -- and asks the policy for one
+:class:`VectorDecision`: per-packet boolean ``forward``/``store`` masks
+plus the forwarding ``axis``.  Anything implementing that single call is
+a :class:`VectorPolicy` and runs at array speed.  Three lifts cover the
+rest:
+
+* policies exposing ``fast_priority`` (the greedy family) get the
+  built-in :class:`~repro.network.fast_engine.GreedyVectorPolicy`;
+* :class:`~repro.network.simulator.PlanPolicy` replay is compiled into a
+  vector policy over per-packet action tables;
+* any other scalar :class:`~repro.network.simulator.Policy` is lifted by
+  :class:`~repro.network.fast_engine.BatchedPolicyAdapter`: one grouped
+  Python call per *node*-step instead of per packet.
+
+The ABI contract (what ``tests/test_differential.py`` fuzz-enforces):
+
+1. the engine, not the policy, accounts and enforces ``B``/``c`` -- a
+   decision exceeding them raises
+   :class:`~repro.util.errors.CapacityError` exactly like the reference
+   validator; a forward off the grid raises
+   :class:`~repro.util.errors.ValidationError`;
+2. packets neither forwarded nor stored are deleted by the engine
+   (rejected at injection time, preempted afterwards);
+3. decisions must be *order-insensitive* functions of the candidate set
+   (use a total priority -- break ties on ``rid``).  The reference and
+   fast engines present candidates in different orders, and bit-identical
+   results across engines -- the invariant the result cache rests on --
+   hold only for policies that do not depend on that order.  A policy
+   that knowingly violates this sets ``vectorize = False``, which pins it
+   to the reference engine even under a global ``REPRO_ENGINE=fast``;
+4. the batched adapter re-materializes candidate
+   :class:`~repro.network.packet.Packet` records each step; scalar
+   policies must not key state on packet object identity across steps.
+
+Node Model 2 (Appendix F) is not a :class:`Policy` but different node
+semantics; :func:`make_engine` routes policies carrying ``node_model = 2``
+(:class:`~repro.network.node_models.Model2Policy`) to the Model 2
+engines -- the vectorized
+:class:`~repro.network.node_models.FastModel2Engine` under ``"fast"``,
+the per-packet :class:`~repro.network.node_models.Model2LineSimulator`
+otherwise.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Protocol
 
-from repro.network.fast_engine import FastEngine
-from repro.network.simulator import SimulationResult, Simulator
+import numpy as np
+
+from repro.network.simulator import SimulationResult
 from repro.util.errors import ValidationError
 
 #: environment variable consulted when no explicit engine is given
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
-ENGINES = {"reference": Simulator, "fast": FastEngine}
+#: the valid engine names (implementations resolve lazily in make_engine)
+ENGINE_NAMES = ("reference", "fast")
 
 _default_engine = "reference"
+
+#: encodes ``deadline = infinity`` in the ABI's int64 deadline arrays
+NO_DEADLINE = int(np.iinfo(np.int64).max)
 
 
 class Engine(Protocol):
@@ -45,10 +96,82 @@ class Engine(Protocol):
         ...
 
 
+# -- the vectorized decision ABI -----------------------------------------
+
+
+@dataclass(frozen=True)
+class StepView:
+    """Array view of one time step's candidate packets (post-delivery).
+
+    Row ``i`` describes one candidate packet; all per-packet arrays share
+    that row order.  ``index`` maps rows back to the engine's request
+    order (``requests[index[i]]`` is row ``i``'s
+    :class:`~repro.network.packet.Request`), which is how compiled
+    policies (plan replay) look up per-request tables.
+    """
+
+    t: int  # current time step
+    network: object  # the Network (dims, buffer_size, capacity, d)
+    requests: tuple  # all requests of the run, in engine order
+    index: np.ndarray  # row -> position in ``requests``
+    node_id: np.ndarray  # flat row-major node index (Network.node_index)
+    loc: np.ndarray  # (k, d) current coordinates
+    src: np.ndarray  # (k, d) source coordinates
+    dst: np.ndarray  # (k, d) destination coordinates
+    arrival: np.ndarray  # injection times
+    deadline: np.ndarray  # deadlines, ``NO_DEADLINE`` when unbounded
+    rid: np.ndarray  # unique request ids (the universal tie-break)
+
+    @property
+    def size(self) -> int:
+        return self.rid.size
+
+    def remaining(self) -> np.ndarray:
+        """Hops left to each destination (the nearest-to-go key)."""
+        return (self.dst - self.loc).sum(axis=1)
+
+    def hops(self) -> np.ndarray:
+        """Hops travelled so far (exact on a uni-directional grid)."""
+        return (self.loc - self.src).sum(axis=1)
+
+    def injected_now(self) -> np.ndarray:
+        """Mask of packets revealed (locally input) this very step."""
+        return self.arrival == self.t
+
+
+@dataclass
+class VectorDecision:
+    """A policy's answer for one step: what to forward, what to keep.
+
+    ``forward``/``store`` are boolean masks over the step view's rows;
+    ``axis`` gives the outgoing axis per row (only read where ``forward``
+    is set).  Rows in neither mask are deleted by the engine.
+    """
+
+    forward: np.ndarray
+    axis: np.ndarray
+    store: np.ndarray
+
+
+class VectorPolicy(Protocol):
+    """The vectorized decision ABI: one array call per time step."""
+
+    def decide_vector(self, view: StepView) -> VectorDecision:
+        ...
+
+
+def is_vector_policy(policy) -> bool:
+    """True when ``policy`` implements the vectorized decision ABI."""
+    return callable(getattr(policy, "decide_vector", None))
+
+
+# -- engine selection -----------------------------------------------------
+
+
 def _check_name(name: str) -> str:
-    if name not in ENGINES:
+    if name not in ENGINE_NAMES:
         raise ValidationError(
-            f"unknown engine {name!r}; choose from {sorted(ENGINES)}"
+            f"unknown engine {name!r}; choose from {sorted(ENGINE_NAMES)}"
         )
     return name
 
@@ -79,11 +202,27 @@ def make_engine(network, policy, engine: str | None = None,
     """Build the engine named by :func:`resolve_engine_name`.
 
     When ``"fast"`` is selected but the request needs reference features
-    (tracing, or a policy the fast engine cannot vectorize), the reference
-    engine is returned instead, so experiment code can flip engines
-    globally without special-casing individual policies.
+    (tracing, or a policy no fast path can express), the reference engine
+    is returned instead, so experiment code can flip engines globally
+    without special-casing individual policies.  Policies carrying
+    ``node_model = 2`` route to the Model 2 engines (see module docs).
     """
+    # imported here, not at module top: fast_engine/node_models import the
+    # ABI classes above, so this module must finish loading first
+    from repro.network.fast_engine import FastEngine
+    from repro.network.simulator import Simulator
+
     name = resolve_engine_name(engine)
-    if name == "fast" and (trace or not FastEngine.supports(policy)):
-        name = "reference"
-    return ENGINES[name](network, policy, trace=trace)
+    if getattr(policy, "node_model", 1) == 2:
+        from repro.network.node_models import (
+            FastModel2Engine,
+            Model2LineSimulator,
+        )
+
+        if name == "fast" and not trace \
+                and FastModel2Engine.supports(policy, network):
+            return FastModel2Engine(network, policy)
+        return Model2LineSimulator(network, policy, trace=trace)
+    if name == "fast" and not trace and FastEngine.supports(policy):
+        return FastEngine(network, policy, trace=trace)
+    return Simulator(network, policy, trace=trace)

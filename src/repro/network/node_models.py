@@ -15,18 +15,25 @@ node moves at most ``B`` packets per step (vs ``B + c`` in Model 1).
 
 Appendix F remark 1: with ``B = c = 1``, Model 1 is strictly stronger -- a
 node receiving one packet from its neighbour and one local injection keeps
-both (store one, forward the other), while Model 2 must drop one.  The
-:class:`Model2LineSimulator` here exists to reproduce that separation
-(experiment E14); everything else in the package uses Model 1.
+both (store one, forward the other), while Model 2 must drop one.
+
+Model 2 is selected through the ordinary engine machinery: a
+:class:`Model2Policy` carries ``node_model = 2``, which
+:func:`~repro.network.engine.make_engine` routes to
+:class:`Model2LineSimulator` (the per-packet reference loop, with
+tracing) or :class:`FastModel2Engine` (the vectorized two-phase loop on
+the decision-ABI priority machinery) -- both implement the
+:class:`~repro.network.engine.Engine` protocol and return bit-identical
+:class:`~repro.network.simulator.SimulationResult` records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.network.packet import DeliveryStatus, Packet
+from repro.network.simulator import SimulationResult
 from repro.network.stats import NetworkStats
 from repro.network.topology import LineNetwork
+from repro.network.trace import TraceRecorder
 from repro.util.errors import ValidationError
 
 
@@ -35,28 +42,70 @@ def ntg_priority(pkt: Packet):
     return (pkt.remaining_distance(), pkt.request.arrival, pkt.rid)
 
 
-@dataclass
-class Model2Result:
-    stats: NetworkStats
-    status: dict
+#: scalar key functions matching the fast engine's ``_priority_keys``
+#: orders tuple-for-tuple (every order ends in the unique ``rid``)
+_MODEL2_KEYS = {
+    "fifo": lambda pkt: (pkt.request.arrival, pkt.rid),
+    "lifo": lambda pkt: (-pkt.request.arrival, -pkt.rid),
+    "longest": lambda pkt: (-pkt.remaining_distance(),
+                            pkt.request.arrival, pkt.rid),
+    "ntg": ntg_priority,
+}
+
+
+class Model2Policy:
+    """Priority choice under Model 2 node semantics.
+
+    ``priority`` names the total order used both to pick which ``B``
+    packets survive phase 0 and which single packet phase 1 transmits
+    (``ntg`` -- the default -- ``fifo``, ``lifo`` or ``longest``).  The
+    ``node_model = 2`` marker is what routes
+    :func:`~repro.network.engine.make_engine` to the Model 2 engines;
+    ``fast_priority`` names the equivalent vectorized order used by
+    :class:`FastModel2Engine`.
+    """
+
+    node_model = 2
+
+    def __init__(self, priority: str = "ntg"):
+        if priority not in _MODEL2_KEYS:
+            raise ValidationError(
+                f"unknown priority {priority!r}; choose from "
+                f"{sorted(_MODEL2_KEYS)}"
+            )
+        self.priority = priority
+        self.fast_priority = priority
+        self.key = _MODEL2_KEYS[priority]
+
+
+def _check_model2_network(network) -> None:
+    if network.d != 1:
+        raise ValidationError("Model 2 is defined on lines (d = 1)")
+    if network.capacity != 1:
+        raise ValidationError("Model 2 is defined for unit link capacity")
 
 
 class Model2LineSimulator:
     """Model 2 dynamics on a uni-directional line with ``c = 1``.
 
-    ``priority`` orders packets when the node must choose which ``B`` to
-    keep (phase 0) and which single packet to transmit (phase 1); the
-    default is nearest-to-go.
+    The reference implementation of the two-phase node semantics: a
+    per-packet Python loop that optionally records a full event trace.
+    Implements the :class:`~repro.network.engine.Engine` protocol --
+    ``run`` returns a plain
+    :class:`~repro.network.simulator.SimulationResult`, so consumers need
+    no Model 2 special case.
     """
 
-    def __init__(self, network: LineNetwork, priority=ntg_priority):
-        if network.capacity != 1:
-            raise ValidationError("Model 2 is defined for unit link capacity")
+    def __init__(self, network: LineNetwork, policy: Model2Policy | None = None,
+                 trace: bool = False):
+        _check_model2_network(network)
         self.network = network
-        self.priority = priority
+        self.policy = policy if policy is not None else Model2Policy()
+        self.trace = TraceRecorder(enabled=trace)
 
-    def run(self, requests, horizon: int) -> Model2Result:
-        network = self.network
+    def run(self, requests, horizon: int) -> SimulationResult:
+        network, trace = self.network, self.trace
+        key = self.policy.key
         B = network.buffer_size
         n = network.length
         stats = NetworkStats()
@@ -90,43 +139,55 @@ class Model2LineSimulator:
                 injected_now = set()
                 for r in arrivals.get(t, ()):  # local inputs at this node
                     if r.source == node:
-                        candidates.append(Packet(request=r, location=node, injected_at=t))
+                        candidates.append(
+                            Packet(request=r, location=node, injected_at=t))
                         injected_now.add(r.rid)
 
                 # deliveries are free in both models
                 remaining = []
                 for pkt in candidates:
                     if pkt.dest == node:
-                        on_time = pkt.request.deadline is None or t <= pkt.request.deadline
+                        on_time = (pkt.request.deadline is None
+                                   or t <= pkt.request.deadline)
                         status[pkt.rid] = (
-                            DeliveryStatus.DELIVERED if on_time else DeliveryStatus.LATE
+                            DeliveryStatus.DELIVERED if on_time
+                            else DeliveryStatus.LATE
                         )
                         stats.delivery_times[pkt.rid] = t
                         stats.delivered += on_time
                         stats.late += not on_time
+                        trace.record(t, "deliver" if on_time else "late",
+                                     pkt.rid, node)
                     else:
                         remaining.append(pkt)
 
                 # phase 0: keep at most B packets in the buffer
-                remaining.sort(key=self.priority)
+                remaining.sort(key=key)
                 kept, dropped = remaining[:B], remaining[B:]
                 for pkt in dropped:
                     if pkt.rid in injected_now:
                         status[pkt.rid] = DeliveryStatus.REJECTED
                         stats.rejected += 1
+                        trace.record(t, "reject", pkt.rid, node)
                     else:
                         status[pkt.rid] = DeliveryStatus.PREEMPTED
                         stats.preempted += 1
+                        trace.record(t, "drop", pkt.rid, node)
                 for pkt in kept:
                     if status[pkt.rid] == DeliveryStatus.PENDING:
                         status[pkt.rid] = DeliveryStatus.INJECTED
+                        trace.record(t, "inject", pkt.rid, node)
 
                 # phase 1: transmit at most one buffered packet
                 if kept and x + 1 < n:
-                    out = min(kept, key=self.priority)
+                    out = min(kept, key=key)
                     kept.remove(out)
                     new_link_in[x + 1] = out
                     stats.forwards += 1
+                    trace.record(t, "forward", out.rid, node, "axis=0")
+                for pkt in kept:
+                    stats.stores += 1
+                    trace.record(t, "store", pkt.rid, node)
                 buffers[x] = kept
                 stats.max_buffer_load = max(stats.max_buffer_load, len(kept))
             link_in = new_link_in
@@ -138,7 +199,162 @@ class Model2LineSimulator:
             elif st == DeliveryStatus.INJECTED:
                 status[rid] = DeliveryStatus.PREEMPTED
                 stats.preempted += 1
-        return Model2Result(stats=stats, status=status)
+        return SimulationResult(stats=stats, status=status, trace=trace,
+                                engine="reference")
+
+
+class FastModel2Engine:
+    """Vectorized Model 2: the two-phase loop on priority-key arrays.
+
+    Bit-identical drop-in for :class:`Model2LineSimulator` (same
+    ``status`` map, same :class:`~repro.network.stats.NetworkStats`
+    counters, same delivery times) built on the fast engine's grouped
+    ranking machinery: phase 0 keeps the ``B`` best-ranked packets per
+    node, phase 1 transmits the rank-0 survivor.  Supports the named
+    priority orders of :class:`Model2Policy`; construction raises
+    :class:`~repro.util.errors.ValidationError` on unsupported policies,
+    non-line networks or ``trace=True`` -- use
+    :func:`~repro.network.engine.make_engine` for graceful fallback.
+    """
+
+    def __init__(self, network: LineNetwork, policy: Model2Policy | None = None,
+                 trace: bool = False):
+        if trace:
+            raise ValidationError(
+                "FastModel2Engine does not record traces; use the "
+                "reference Model 2 engine"
+            )
+        _check_model2_network(network)
+        policy = policy if policy is not None else Model2Policy()
+        from repro.network.fast_engine import FastEngine
+
+        if getattr(policy, "fast_priority", None) not in \
+                FastEngine.SUPPORTED_PRIORITIES:
+            raise ValidationError(
+                f"policy {type(policy).__name__} is not supported by "
+                f"FastModel2Engine (no fast_priority in "
+                f"{sorted(FastEngine.SUPPORTED_PRIORITIES)})"
+            )
+        self.network = network
+        self.policy = policy
+        self.trace = TraceRecorder(enabled=False)
+
+    @classmethod
+    def supports(cls, policy, network) -> bool:
+        """True when ``policy`` can run on the fast Model 2 engine."""
+        from repro.network.fast_engine import FastEngine
+
+        return (
+            getattr(policy, "node_model", 1) == 2
+            and getattr(policy, "fast_priority", None)
+            in FastEngine.SUPPORTED_PRIORITIES
+            and network.d == 1
+            and network.capacity == 1
+        )
+
+    def run(self, requests, horizon: int) -> SimulationResult:
+        import numpy as np
+
+        from repro.network.fast_engine import (
+            _DELIVERED,
+            _INJECTED,
+            _LATE,
+            _PREEMPTED,
+            _REJECTED,
+            _finalize_result,
+            _grouped_rank,
+            _priority_keys,
+            _request_arrays,
+        )
+
+        network = self.network
+        B = network.buffer_size
+        n_nodes = network.length
+        stats = NetworkStats()
+
+        reqs = tuple(requests)
+        n = len(reqs)
+        src, dst, arrival, deadline, rid = _request_arrays(network, reqs)
+        if n == 0:
+            return SimulationResult(stats=stats, status={}, trace=self.trace,
+                                    engine="fast")
+        src, dst = src[:, 0], dst[:, 0]  # line: flat 1-d coordinates
+
+        loc = src.copy()
+        alive = np.zeros(n, dtype=bool)
+        scode = np.zeros(n, dtype=np.int64)  # _PENDING
+        delivered_t = np.full(n, -1, dtype=np.int64)
+
+        inj_order = np.argsort(arrival, kind="stable")
+        ptr = 0
+        n_alive = 0
+        last_arrival = int(arrival.max())
+        priority = self.policy.fast_priority
+
+        for t in range(horizon + 1):
+            if n_alive == 0 and t > last_arrival:
+                break
+            stats.steps += 1
+
+            while ptr < n and arrival[inj_order[ptr]] == t:
+                i = inj_order[ptr]
+                alive[i] = True
+                n_alive += 1
+                ptr += 1
+
+            act = np.flatnonzero(alive)
+            if act.size == 0:
+                continue
+
+            # deliveries are free in both models
+            at_dest = loc[act] == dst[act]
+            done = act[at_dest]
+            if done.size:
+                on_time = t <= deadline[done]
+                scode[done] = np.where(on_time, _DELIVERED, _LATE)
+                delivered_t[done] = t
+                n_on = int(on_time.sum())
+                stats.delivered += n_on
+                stats.late += done.size - n_on
+                alive[done] = False
+                n_alive -= done.size
+            rem = act[~at_dest]
+            if rem.size == 0:
+                continue
+
+            # phase 0: keep the B best-ranked packets per node
+            keys = _priority_keys(priority, arrival[rem], rid[rem],
+                                  dst[rem] - loc[rem])
+            rank, _ = _grouped_rank(loc[rem], keys)
+            keep = rank < B
+            dropped = rem[~keep]
+            if dropped.size:
+                fresh = arrival[dropped] == t  # rejected at injection
+                scode[dropped] = np.where(fresh, _REJECTED, _PREEMPTED)
+                n_fresh = int(fresh.sum())
+                stats.rejected += n_fresh
+                stats.preempted += dropped.size - n_fresh
+                alive[dropped] = False
+                n_alive -= dropped.size
+            kept = rem[keep]
+            if kept.size == 0:
+                continue
+            scode[kept] = _INJECTED
+
+            # phase 1: transmit the rank-0 survivor (unless at the line end)
+            transmit = keep & (rank == 0) & (loc[rem] + 1 < n_nodes)
+            stay = keep & ~transmit
+            if stay.any():
+                stats.stores += int(stay.sum())
+                _, counts = np.unique(loc[rem[stay]], return_counts=True)
+                stats.max_buffer_load = max(stats.max_buffer_load,
+                                            int(counts.max()))
+            tx = rem[transmit]
+            if tx.size:
+                loc[tx] += 1
+                stats.forwards += tx.size
+
+        return _finalize_result(stats, scode, rid, delivered_t, self.trace)
 
 
 def separation_instance():

@@ -1,10 +1,30 @@
-"""Shared fixtures for the repro test suite."""
+"""Shared fixtures for the repro test suite.
+
+Also registers the hypothesis settings profiles for the fuzz suites
+(``test_differential.py``, ``test_properties.py``): the ``ci`` profile --
+selected with ``HYPOTHESIS_PROFILE=ci``, as the CI workflow does -- pins
+``derandomize=True`` and ``deadline=None`` so fuzz runs are deterministic
+and never flake on shared-runner timing; the default ``dev`` profile
+keeps random exploration for local runs.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.network.topology import GridNetwork, LineNetwork
+
+try:
+    from hypothesis import settings as _hyp_settings
+except ImportError:  # hypothesis is optional outside CI
+    pass
+else:
+    _hyp_settings.register_profile("dev", deadline=None)
+    _hyp_settings.register_profile(
+        "ci", deadline=None, derandomize=True, print_blob=True)
+    _hyp_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture

@@ -6,7 +6,11 @@ which engine executes it (``engine`` is excluded from the digest) and no
 matter how ``run_batch`` shards it over workers.  PR 1/PR 2 spot-checked
 this on hand-picked instances; here hypothesis hunts for counterexamples
 over random small scenarios spanning both topologies, every registered
-stochastic workload, and the greedy/NTG/planner algorithm families.
+stochastic workload, and the greedy/NTG/planner algorithm families --
+plus (PR 4) the Model 2 node semantics (``ntg-model2`` on the vectorized
+two-phase engine) and the custom-policy paths of the decision ABI
+(``edd`` natively, and ``edd(adapter=true)`` through the scalar
+batched-adapter lift).
 
 A failure here means the cache would serve wrong results -- fix the
 engine divergence before touching the cache.
@@ -92,10 +96,19 @@ def workloads(draw, horizon: int):
 
 @st.composite
 def algorithms(draw):
-    name = draw(st.sampled_from(("greedy", "ntg", "det", "bufferless")))
+    name = draw(st.sampled_from(
+        ("greedy", "ntg", "det", "bufferless", "ntg-model2", "edd")))
     if name == "greedy":
         priority = draw(st.sampled_from(("fifo", "lifo", "longest")))
         return {"name": "greedy", "params": {"priority": priority}}
+    if name == "ntg-model2":
+        # Model 2 node semantics on the vectorized two-phase engine
+        priority = draw(st.sampled_from(("ntg", "fifo", "lifo", "longest")))
+        return {"name": "ntg-model2", "params": {"priority": priority}}
+    if name == "edd":
+        # the custom vector-ABI policy; adapter=True forces the
+        # scalar-to-vector batched adapter path on the fast engine
+        return {"name": "edd", "params": {"adapter": draw(st.booleans())}}
     return name
 
 
@@ -144,6 +157,65 @@ def test_workers_bit_identical(batch):
     pooled = run_batch(batch, workers=4)
     for one, many in zip(serial, pooled):
         assert_reports_identical(one, many, "serial vs pooled")
+
+
+@st.composite
+def model2_and_abi_scenarios(draw):
+    """Scenarios dense in the PR-4 fast paths: Model 2 node semantics and
+    the custom vector-ABI / batched-adapter policies, on the line c = 1
+    networks Model 2 is defined for."""
+    n = draw(st.integers(3, 12))
+    B = draw(st.sampled_from((0, 1, 2, 3)))
+    network = NetworkSpec("line", (n,), buffer_size=B, capacity=1)
+    algorithm = draw(st.one_of(
+        st.fixed_dictionaries({
+            "name": st.just("ntg-model2"),
+            "params": st.fixed_dictionaries(
+                {"priority": st.sampled_from(("ntg", "fifo", "lifo",
+                                              "longest"))}),
+        }),
+        st.fixed_dictionaries({
+            "name": st.just("edd"),
+            "params": st.fixed_dictionaries({"adapter": st.booleans()}),
+        }),
+    ))
+    horizon = draw(st.integers(n, 4 * n))
+    return Scenario(
+        network=network,
+        workload=draw(workloads(horizon=max(1, horizon // 2))),
+        algorithm=algorithm,
+        horizon=horizon,
+        seed=draw(st.integers(0, 2**32 - 1)),
+    )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(model2_and_abi_scenarios())
+def test_model2_and_abi_policies_bit_identical(scenario):
+    """The PR-4 paths select the fast engine (no reference fallback) and
+    stay bit-identical to the reference engine."""
+    hypothesis.assume(runnable(scenario))
+    ref = run(scenario.replace(engine="reference"))
+    fast = run(scenario.replace(engine="fast"))
+    assert ref.engine == "reference"
+    assert fast.engine == "fast"  # the whole point: no silent fallback
+    assert_reports_identical(ref, fast, "reference vs fast (model2/ABI)")
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(st.lists(model2_and_abi_scenarios(), min_size=3, max_size=6))
+def test_model2_and_abi_workers_bit_identical(batch):
+    """Pooled run_batch of the new paths matches the serial run."""
+    batch = [s for s in batch if runnable(s)]
+    hypothesis.assume(len(batch) >= 2)
+    serial = run_batch(batch, workers=1)
+    pooled = run_batch(batch, workers=4)
+    for one, many in zip(serial, pooled):
+        assert_reports_identical(one, many, "serial vs pooled (model2/ABI)")
 
 
 @settings(max_examples=15, deadline=None,

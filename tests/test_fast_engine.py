@@ -194,16 +194,38 @@ class TestEngineSelection:
         with pytest.raises(ValidationError):
             set_default_engine("warp")
 
-    def test_unsupported_policy_falls_back_to_reference(self):
+    def test_custom_scalar_policy_runs_on_fast_via_adapter(self):
+        # the PR-4 decision ABI: custom scalar policies no longer fall
+        # back -- the batched adapter lifts them onto the fast engine
         class Custom(Policy):
             def decide(self, node, t, candidates, network):
                 return Decision()
 
         net = LineNetwork(8, buffer_size=1, capacity=1)
         engine = make_engine(net, Custom(), engine="fast")
+        assert isinstance(engine, FastEngine)
+        assert FastEngine.supports(Custom())
+
+    def test_policy_without_decide_falls_back_to_reference(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        engine = make_engine(net, object(), engine="fast")
         assert isinstance(engine, Simulator)
         with pytest.raises(ValidationError):
-            FastEngine(net, Custom())
+            FastEngine(net, object())
+
+    def test_vectorize_false_pins_the_reference_engine(self):
+        # an order-sensitive policy that cannot honour the ABI contract
+        # opts out explicitly and keeps the safe per-packet path
+        class OrderSensitive(Policy):
+            vectorize = False
+
+            def decide(self, node, t, candidates, network):
+                return Decision(store=candidates[:network.buffer_size])
+
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        assert not FastEngine.supports(OrderSensitive())
+        engine = make_engine(net, OrderSensitive(), engine="fast")
+        assert isinstance(engine, Simulator)
 
     def test_trace_falls_back_to_reference(self):
         net = LineNetwork(8, buffer_size=1, capacity=1)
@@ -216,3 +238,122 @@ class TestEngineSelection:
         assert FastEngine.supports(GreedyPolicy("lifo"))
         assert FastEngine.supports(NearestToGoPolicy())
         assert not FastEngine.supports(object())
+
+
+class TestVectorABI:
+    """The vectorized decision ABI: custom policies on the fast engine."""
+
+    def _instance(self, B=1, c=1):
+        net = LineNetwork(10, buffer_size=B, capacity=c)
+        reqs = uniform_requests(net, 30, 12, rng=5)
+        return net, reqs
+
+    def test_native_vector_policy_matches_scalar_reference(self):
+        # EDD implements both interfaces; the ABI must produce the
+        # decision the scalar reference loop produces, bit for bit
+        from repro.baselines.edd import EarliestDeadlinePolicy
+
+        net, reqs = self._instance(B=2, c=2)
+        assert_parity(net, EarliestDeadlinePolicy(),
+                      EarliestDeadlinePolicy(), reqs, 60)
+
+    def test_batched_adapter_matches_reference(self):
+        from repro.baselines.edd import EarliestDeadlinePolicy, _ScalarOnly
+
+        net, reqs = self._instance(B=2, c=1)
+        assert_parity(net, EarliestDeadlinePolicy(),
+                      _ScalarOnly(EarliestDeadlinePolicy()), reqs, 60)
+
+    def test_adapter_forwards_on_step_begin(self):
+        calls = []
+
+        class Coordinated(Policy):
+            def on_step_begin(self, t):
+                calls.append(t)
+
+            def decide(self, node, t, candidates, network):
+                return Decision()
+
+        net, reqs = self._instance()
+        FastEngine(net, Coordinated()).run(reqs, 30)
+        assert calls and calls == sorted(calls)
+
+    def test_drop_everything_vector_policy(self):
+        import numpy as np
+
+        from repro.network.engine import VectorDecision
+
+        class DropAll:
+            def decide_vector(self, view):
+                zeros = np.zeros(view.size, dtype=bool)
+                return VectorDecision(forward=zeros,
+                                      axis=np.zeros(view.size, np.int64),
+                                      store=zeros)
+
+        net, reqs = self._instance()
+        result = FastEngine(net, DropAll()).run(reqs, 60)
+        # everything except source==dest trivia is rejected at injection
+        trivial = sum(r.source == r.dest for r in reqs)
+        assert result.stats.delivered == trivial
+        assert result.stats.rejected == len(reqs) - trivial
+
+    def test_engine_enforces_capacity_on_vector_decisions(self):
+        import numpy as np
+
+        from repro.network.engine import VectorDecision
+
+        class ForwardAll:
+            def decide_vector(self, view):
+                ones = np.ones(view.size, dtype=bool)
+                return VectorDecision(forward=ones,
+                                      axis=np.zeros(view.size, np.int64),
+                                      store=np.zeros(view.size, bool))
+
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 5, 0, rid=i) for i in range(3)]
+        with pytest.raises(CapacityError):
+            FastEngine(net, ForwardAll()).run(reqs, 30)
+
+    def test_engine_rejects_double_scheduling(self):
+        import numpy as np
+
+        from repro.network.engine import VectorDecision
+
+        class Both:
+            def decide_vector(self, view):
+                ones = np.ones(view.size, dtype=bool)
+                return VectorDecision(forward=ones,
+                                      axis=np.zeros(view.size, np.int64),
+                                      store=ones)
+
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        with pytest.raises(ValidationError):
+            FastEngine(net, Both()).run([Request.line(0, 5, 0, rid=0)], 30)
+
+    def test_engine_rejects_off_grid_axis(self):
+        import numpy as np
+
+        from repro.network.engine import VectorDecision
+
+        class WrongAxis:
+            def decide_vector(self, view):
+                ones = np.ones(view.size, dtype=bool)
+                return VectorDecision(forward=ones,
+                                      axis=np.ones(view.size, np.int64),
+                                      store=np.zeros(view.size, bool))
+
+        net = LineNetwork(6, buffer_size=1, capacity=1)  # d=1: axis 1 invalid
+        with pytest.raises(ValidationError):
+            FastEngine(net, WrongAxis()).run([Request.line(0, 5, 0, rid=0)], 30)
+
+    def test_adapter_rejects_overfull_store(self):
+        class Hoarder(Policy):
+            def decide(self, node, t, candidates, network):
+                return Decision(store=list(candidates))
+
+        net = LineNetwork(6, buffer_size=1, capacity=1)
+        reqs = [Request.line(0, 5, 0, rid=i) for i in range(3)]
+        with pytest.raises(CapacityError):
+            FastEngine(net, Hoarder()).run(reqs, 30)
+        with pytest.raises(CapacityError):
+            Simulator(net, Hoarder()).run(reqs, 30)

@@ -1,0 +1,219 @@
+"""Metamorphic/invariant suite over traces and results from both engines.
+
+Where the differential suite (``test_differential.py``) asserts the two
+engines agree with *each other*, this suite asserts both agree with the
+*model* (Section 2.1 / Appendix F):
+
+* buffer occupancy never exceeds ``B`` at any node in any step, and link
+  load never exceeds ``c`` (checked per-step from reference traces and
+  from the stats watermarks both engines report);
+* delivered implies on time (Section 5.4: credit only for ``t' <= d_i``),
+  and no delivery happens before ``arrival + distance`` (packets cannot
+  outrun the grid);
+* every request resolves to exactly one terminal status, and the status
+  counts reconcile with the stats counters;
+* Model 2 moves at most ``B`` packets per node per step (at most one of
+  them onto the link), the Appendix F property separating it from
+  Model 1.
+
+The suite runs the same instances through the reference engines (with
+tracing) and the vectorized engines, so a violation pinpoints which
+implementation broke the model rather than both drifting together.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.edd import EarliestDeadlinePolicy
+from repro.baselines.greedy import GreedyPolicy
+from repro.baselines.nearest_to_go import NearestToGoPolicy
+from repro.network.engine import make_engine
+from repro.network.node_models import (
+    FastModel2Engine,
+    Model2LineSimulator,
+    Model2Policy,
+    separation_instance,
+)
+from repro.network.packet import DeliveryStatus
+from repro.network.simulator import Simulator
+from repro.network.topology import GridNetwork, LineNetwork
+from repro.workloads import deadline_requests, uniform_requests
+
+INSTANCES = [
+    # (dims, B, c, num, window, horizon)
+    ((10,), 1, 1, 40, 12, 60),
+    ((10,), 0, 1, 40, 12, 60),
+    ((12,), 3, 2, 50, 16, 80),
+    ((4, 4), 1, 1, 40, 12, 60),
+    ((3, 5), 2, 2, 50, 12, 60),
+]
+
+POLICIES = [
+    lambda: GreedyPolicy("fifo"),
+    lambda: GreedyPolicy("longest"),
+    lambda: NearestToGoPolicy(),
+    lambda: EarliestDeadlinePolicy(),
+]
+
+
+def build(dims, B, c):
+    if len(dims) == 1:
+        return LineNetwork(dims[0], buffer_size=B, capacity=c)
+    return GridNetwork(dims, buffer_size=B, capacity=c)
+
+
+def request_map(reqs):
+    return {r.rid: r for r in reqs}
+
+
+def assert_result_invariants(net, reqs, result):
+    """Model invariants every engine's result must satisfy."""
+    by_rid = request_map(reqs)
+    stats = result.stats
+
+    # watermark invariants: the engine enforced B and c
+    assert stats.max_buffer_load <= net.buffer_size
+    assert stats.max_link_load <= net.capacity
+
+    # every request resolved to exactly one terminal status
+    assert set(result.status) == set(by_rid)
+    terminal = (DeliveryStatus.DELIVERED, DeliveryStatus.LATE,
+                DeliveryStatus.REJECTED, DeliveryStatus.PREEMPTED)
+    counts = {st: 0 for st in terminal}
+    for st in result.status.values():
+        assert st in terminal, st
+        counts[st] += 1
+    assert counts[DeliveryStatus.DELIVERED] == stats.delivered
+    assert counts[DeliveryStatus.LATE] == stats.late
+    assert counts[DeliveryStatus.REJECTED] == stats.rejected
+    assert counts[DeliveryStatus.PREEMPTED] == stats.preempted
+    assert sum(counts.values()) == len(reqs)
+
+    # delivery-time invariants (Section 5.4)
+    assert set(stats.delivery_times) == {
+        rid for rid, st in result.status.items()
+        if st in (DeliveryStatus.DELIVERED, DeliveryStatus.LATE)
+    }
+    for rid, t in stats.delivery_times.items():
+        r = by_rid[rid]
+        assert t >= r.arrival + r.distance  # cannot outrun the grid
+        if result.status[rid] == DeliveryStatus.DELIVERED:
+            assert r.deadline is None or t <= r.deadline  # on time
+        else:  # LATE: reached the destination but after the deadline
+            assert r.deadline is not None and t > r.deadline
+
+
+def assert_trace_invariants(net, result, model2: bool = False):
+    """Per-step occupancy invariants from a reference-engine trace."""
+    B, c = net.buffer_size, net.capacity
+    stores: dict = {}  # (t, node) -> count
+    forwards: dict = {}  # (t, node, axis) -> count
+    for e in result.trace.events:
+        if e.kind == "store":
+            stores[(e.t, e.node)] = stores.get((e.t, e.node), 0) + 1
+        elif e.kind == "forward":
+            key = (e.t, e.node, e.detail)
+            forwards[key] = forwards.get(key, 0) + 1
+    assert all(v <= B for v in stores.values())
+    assert all(v <= c for v in forwards.values())
+    if model2:
+        # Appendix F: a Model 2 node moves at most B packets per step --
+        # the survivors of phase 0 -- and at most one onto the link
+        moved: dict = {}
+        for (t, node, _), v in forwards.items():
+            assert v <= 1
+            moved[(t, node)] = moved.get((t, node), 0) + v
+        for (t, node), v in stores.items():
+            moved[(t, node)] = moved.get((t, node), 0) + v
+        assert all(v <= B for v in moved.values())
+
+
+class TestModel1Invariants:
+    @pytest.mark.parametrize("dims,B,c,num,window,horizon", INSTANCES)
+    @pytest.mark.parametrize("make_policy", POLICIES)
+    def test_both_engines_respect_the_model(self, dims, B, c, num, window,
+                                            horizon, make_policy):
+        net = build(dims, B, c)
+        for seed in range(2):
+            reqs = uniform_requests(net, num, window, rng=seed)
+            traced = Simulator(net, make_policy(), trace=True).run(
+                reqs, horizon)
+            assert_result_invariants(net, reqs, traced)
+            assert_trace_invariants(net, traced)
+            fast = make_engine(net, make_policy(), engine="fast").run(
+                reqs, horizon)
+            assert fast.engine == "fast"
+            assert_result_invariants(net, reqs, fast)
+            assert fast.status == traced.status
+
+    def test_deadline_workload_delivered_implies_on_time(self):
+        net = build((4, 4), 1, 1)
+        for seed in range(3):
+            reqs = deadline_requests(net, 40, 12, slack=1, rng=seed, jitter=2)
+            for engine in ("reference", "fast"):
+                result = make_engine(net, NearestToGoPolicy(),
+                                     engine=engine).run(reqs, 60)
+                assert_result_invariants(net, reqs, result)
+
+
+class TestModel2Invariants:
+    @pytest.mark.parametrize("n,B", [(8, 1), (8, 2), (10, 3), (6, 0)])
+    def test_both_engines_respect_the_model(self, n, B):
+        net = LineNetwork(n, buffer_size=B, capacity=1)
+        for seed in range(2):
+            reqs = uniform_requests(net, 3 * n, n, rng=seed)
+            traced = Model2LineSimulator(net, Model2Policy(),
+                                         trace=True).run(reqs, 4 * n)
+            assert_result_invariants(net, reqs, traced)
+            assert_trace_invariants(net, traced, model2=True)
+            fast = FastModel2Engine(net, Model2Policy()).run(reqs, 4 * n)
+            assert_result_invariants(net, reqs, fast)
+            assert fast.status == traced.status
+
+    def test_model2_deadlines(self):
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        for seed in range(3):
+            reqs = deadline_requests(net, 20, 10, slack=2, rng=seed, jitter=2)
+            for engine in ("reference", "fast"):
+                result = make_engine(net, Model2Policy(),
+                                     engine=engine).run(reqs, 60)
+                assert_result_invariants(net, reqs, result)
+
+
+class TestSeparationRegression:
+    """Pin the Appendix F remark-1 separation on both engines (PR-4
+    regression: the fast Model 2 path must preserve the E14 headline)."""
+
+    def test_direct_engines(self):
+        net, reqs = separation_instance()
+        m1_ref = Simulator(net, NearestToGoPolicy()).run(reqs, 10)
+        m1_fast = make_engine(net, NearestToGoPolicy(),
+                              engine="fast").run(reqs, 10)
+        m2_ref = Model2LineSimulator(net).run(reqs, 10)
+        m2_fast = FastModel2Engine(net).run(reqs, 10)
+        # Model 1 keeps both packets (store one, forward the other)
+        assert m1_ref.stats.delivered == m1_fast.stats.delivered == 2
+        # Model 2 funnels both through the single buffer slot: one drops
+        assert m2_ref.stats.delivered == m2_fast.stats.delivered == 1
+        assert m2_ref.status == m2_fast.status
+
+    @pytest.mark.parametrize("engine", ["reference", "fast"])
+    def test_through_scenario_layer(self, engine):
+        from repro.api import NetworkSpec, Scenario, WorkloadSpec, run
+
+        def scenario(algorithm):
+            return Scenario(
+                network=NetworkSpec("line", (3,), 1, 1),
+                workload=WorkloadSpec("separation"),
+                algorithm=algorithm,
+                horizon=10,
+                engine=engine,
+            )
+
+        m1 = run(scenario("ntg"))
+        m2 = run(scenario("ntg-model2"))
+        assert m1.engine == engine and m2.engine == engine  # no fallback
+        assert m1.throughput == 2
+        assert m2.throughput == 1
+        assert m2.preempted + m2.rejected == 1

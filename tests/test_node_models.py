@@ -128,10 +128,133 @@ class TestScenarioParity:
         res = Model2LineSimulator(net).run(reqs, 10)
         assert len(res.stats.delivery_times) == res.stats.delivered + res.stats.late
 
-    def test_model2_rejects_fast_engine_claim(self):
+    def test_model2_registers_fast_engine_capability(self):
+        # PR 4: Model 2 runs on the vectorized decision ABI -- the
+        # registry advertises it and the capability gate still holds
         from repro.api import ALGORITHMS
 
         entry = ALGORITHMS.get("ntg-model2")
-        assert not entry.supports_fast_engine
+        assert entry.supports_fast_engine
+        assert entry.fast_engine == "vector"
         net = LineNetwork(4, buffer_size=1, capacity=2)
         assert entry.unavailable(net, 10) is not None  # c must be 1
+
+    def test_model2_selects_fast_engine_no_fallback(self):
+        from repro.api import run
+
+        ref = run(self._scenario("ntg-model2").replace(engine="reference"))
+        fast = run(self._scenario("ntg-model2").replace(engine="fast"))
+        assert ref.engine == "reference"
+        assert fast.engine == "fast"  # no silent reference fallback
+        for field in ("requests", "throughput", "bound", "late", "rejected",
+                      "preempted", "latency_mean", "latency_max", "steps"):
+            assert getattr(ref, field) == getattr(fast, field), field
+
+
+class TestModel2EngineParity:
+    """Model2LineSimulator vs FastModel2Engine bit-identity."""
+
+    STAT_FIELDS = (
+        "delivered", "late", "rejected", "preempted", "forwards", "stores",
+        "max_link_load", "max_buffer_load", "steps",
+    )
+
+    def _parity(self, net, reqs, horizon, priority="ntg"):
+        from repro.network.node_models import FastModel2Engine, Model2Policy
+
+        ref = Model2LineSimulator(net, Model2Policy(priority)).run(reqs, horizon)
+        fast = FastModel2Engine(net, Model2Policy(priority)).run(reqs, horizon)
+        for name in self.STAT_FIELDS:
+            assert getattr(fast.stats, name) == getattr(ref.stats, name), name
+        assert fast.status == ref.status
+        assert fast.stats.delivery_times == ref.stats.delivery_times
+        return ref, fast
+
+    @pytest.mark.parametrize("priority", ["ntg", "fifo", "lifo", "longest"])
+    @pytest.mark.parametrize("n,B", [(3, 1), (8, 1), (8, 2), (8, 0), (12, 3)])
+    def test_uniform_parity(self, n, B, priority):
+        from repro.workloads import uniform_requests
+
+        net = LineNetwork(n, buffer_size=B, capacity=1)
+        for seed in range(3):
+            reqs = uniform_requests(net, 30, 12, rng=seed)
+            self._parity(net, reqs, 80, priority)
+
+    def test_deadline_parity(self):
+        from repro.workloads import deadline_requests
+
+        net = LineNetwork(8, buffer_size=1, capacity=1)
+        for seed in range(3):
+            reqs = deadline_requests(net, 20, 10, slack=3, rng=seed, jitter=2)
+            self._parity(net, reqs, 60)
+
+    def test_separation_parity(self):
+        net, reqs = separation_instance()
+        ref, fast = self._parity(net, reqs, 10)
+        assert ref.stats.delivered == 1
+        assert ref.engine == "reference" and fast.engine == "fast"
+
+    def test_fast_model2_requires_line_and_unit_capacity(self):
+        from repro.network.node_models import FastModel2Engine, Model2Policy
+
+        with pytest.raises(ValidationError):
+            FastModel2Engine(LineNetwork(4, buffer_size=1, capacity=2))
+        assert not FastModel2Engine.supports(
+            Model2Policy(), LineNetwork(4, buffer_size=1, capacity=2))
+        assert FastModel2Engine.supports(
+            Model2Policy(), LineNetwork(4, buffer_size=1, capacity=1))
+
+    def test_fast_model2_rejects_trace(self):
+        from repro.network.node_models import FastModel2Engine
+
+        with pytest.raises(ValidationError):
+            FastModel2Engine(LineNetwork(4, buffer_size=1, capacity=1),
+                             trace=True)
+
+    def test_make_engine_routes_node_model(self):
+        from repro.network.engine import make_engine
+        from repro.network.node_models import FastModel2Engine, Model2Policy
+
+        net = LineNetwork(4, buffer_size=1, capacity=1)
+        assert isinstance(make_engine(net, Model2Policy(), engine="fast"),
+                          FastModel2Engine)
+        assert isinstance(make_engine(net, Model2Policy(), engine="reference"),
+                          Model2LineSimulator)
+        # tracing needs the per-packet loop: fall back even under "fast"
+        assert isinstance(
+            make_engine(net, Model2Policy(), engine="fast", trace=True),
+            Model2LineSimulator)
+
+    def test_model2_counts_buffered_stores(self):
+        # "everything transits the buffer": a non-trivial Model 2 run
+        # must report stores > 0 (and identically on both engines)
+        from repro.workloads import uniform_requests
+
+        from repro.network.node_models import Model2Policy
+
+        net = LineNetwork(8, buffer_size=2, capacity=1)
+        reqs = uniform_requests(net, 24, 8, rng=0)
+        ref, fast = self._parity(net, reqs, 40)  # includes stores ref==fast
+        assert ref.stats.stores > 0
+        traced = Model2LineSimulator(net, Model2Policy(),
+                                     trace=True).run(reqs, 40)
+        assert traced.stats.stores == len(traced.trace.of_kind("store"))
+
+    def test_model2_trace_records_two_phase_events(self):
+        from repro.network.node_models import Model2Policy
+
+        net, reqs = separation_instance()
+        res = Model2LineSimulator(net, Model2Policy(), trace=True).run(reqs, 10)
+        kinds = {e.kind for e in res.trace.events}
+        assert "forward" in kinds and "deliver" in kinds
+        assert res.trace.of_kind("deliver")[0].rid in res.status
+        # a node never moves more than B packets in one step (App. F):
+        # per (t, node), forwards <= c = 1 and forwards + stores <= B
+        per_node_step: dict = {}
+        for e in res.trace.events:
+            if e.kind in ("forward", "store"):
+                per_node_step.setdefault((e.t, e.node), []).append(e.kind)
+        B = net.buffer_size
+        for moves in per_node_step.values():
+            assert moves.count("forward") <= 1
+            assert len(moves) <= B
