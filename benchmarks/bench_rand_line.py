@@ -13,17 +13,19 @@ pipeline is identical and only the constant changes (see also E16).
 Ported to the :mod:`repro.api` Scenario layer: each (n, seed, algorithm)
 cell is one declarative ``Scenario``; instances are shared across the
 three algorithms by the seeding contract, and ``run_batch`` fans the
-whole sweep out.
+whole sweep out -- or, under ``REPRO_SHARDS=N``, the multi-host shard
+dispatcher does (see ``conftest.dispatch_batch``; partition equivalence
+keeps every table bit-identical).
 """
 
 from __future__ import annotations
 
-from conftest import SMOKE, emit, seeds, trim
+from conftest import SMOKE, dispatch_batch, emit, seeds, trim
 
 import pytest
 
 from repro.analysis.tables import format_table
-from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec
 
 SIZES = trim((32, 64, 128))
 SEEDS = len(seeds(6, 3))
@@ -49,7 +51,8 @@ def run_sweep(B, c, lam=None, gamma=2.0):
     for n in SIZES:
         # run_batch keeps each seed's (rand, greedy, ntg) triple in one
         # worker, so the offline bound is computed once per instance
-        reports = run_batch(_scenarios(n, B, c, algorithms, SEEDS), workers=2)
+        reports = dispatch_batch(_scenarios(n, B, c, algorithms, SEEDS),
+                                 workers=2, name=f"E6_b{B}c{c}_n{n}")
         per_algo = {a.name: [] for a in algorithms}
         for report in reports:
             per_algo[report.scenario.algorithm.name].append(report)
@@ -91,7 +94,8 @@ def test_randomized_fixed_lambda_shape(once):
         algo = AlgorithmSpec("rand", {"lam": 0.5})
         rows = []
         for n in (32, 64, 128):
-            reports = run_batch(_scenarios(n, 1, 1, (algo,), 8), workers=2)
+            reports = dispatch_batch(_scenarios(n, 1, 1, (algo,), 8),
+                                     workers=2, name=f"E6_fixed_lambda_n{n}")
             exp_tput = sum(r.throughput for r in reports) / len(reports)
             bound = sum(r.bound for r in reports) / len(reports)
             rows.append([n, bound / max(1e-9, exp_tput)])
@@ -132,10 +136,10 @@ def test_randomized_paper_constants(once):
 
         n = 64
         # gamma = 200 is the AlgorithmSpec default (no params needed)
-        reports = run_batch(
+        reports = dispatch_batch(
             _scenarios(n, 1, 1, (AlgorithmSpec("rand"),), len(seeds(10, 4)),
                        requests_per_n=6),
-            workers=2,
+            workers=2, name="E6_paper_constants",
         )
         lam = RandomizedParams.for_network(
             LineNetwork(n, buffer_size=1, capacity=1)).lam

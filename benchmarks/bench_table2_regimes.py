@@ -11,17 +11,20 @@ sparsification constant; the claim reproduced is that *all three regimes
 work through the same pipeline* with logarithmic-type degradation.
 
 Ported to the :mod:`repro.api` Scenario layer: one declarative
-``Scenario`` per (regime, seed), executed by ``run_batch``.
+``Scenario`` per (regime, seed), executed by ``run_batch`` -- or, under
+``REPRO_SHARDS=N``, through the multi-host shard dispatcher (see
+``conftest.dispatch_batch``; partition equivalence keeps the table
+bit-identical).
 """
 
 from __future__ import annotations
 
 import math
 
-from conftest import emit, seeds
+from conftest import dispatch_batch, emit, seeds
 
 from repro.analysis.tables import format_table
-from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec, run_batch
+from repro.api import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec
 
 N = 64
 SEEDS = 6
@@ -45,7 +48,7 @@ def run_regimes():
         for _, algo, B, c, horizon in REGIMES
         for seed in trials
     ]
-    reports = run_batch(scenarios, workers=2)
+    reports = dispatch_batch(scenarios, workers=2, name="E7_table2")
     rows = []
     for i, (label, _, B, c, _) in enumerate(REGIMES):
         batch = reports[i * len(trials):(i + 1) * len(trials)]

@@ -21,6 +21,18 @@ Every bench drives :func:`repro.api.run_batch` over declarative
 * ``REPRO_BENCH_SMOKE=1`` trims sweeps to their first points for fast
   CI passes (shape assertions that need a trend keep two points).
 
+The heaviest benches fan out through :func:`dispatch_batch`, which adds
+the multi-host switches of :mod:`repro.api.dispatch`:
+
+* ``REPRO_SHARDS=N`` routes the batch through the shard orchestrator --
+  plan manifests, run every shard, write each shard's JSONL under
+  ``benchmarks/_output/shards/``, and merge the result files back into
+  the (bit-identical) batch result the bench prints from;
+* ``REPRO_SHARD_INDEX=i`` (with ``REPRO_SHARDS``) runs *only* shard
+  ``i`` and skips the bench's table -- the partial-run mode for spreading
+  one bench across hosts; merge the emitted files with
+  ``python -m repro merge``.
+
 Timing-dependent tables (the ``ENGINE_*`` outputs of ``bench_engine``)
 are cache-exempt by design and excluded from byte-identity checks.
 """
@@ -36,6 +48,45 @@ OUTPUT_DIR = pathlib.Path(__file__).parent / "_output"
 
 #: smoke mode: shrink every sweep so the whole suite runs in CI minutes
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+
+def dispatch_batch(scenarios, workers=None, name=None):
+    """``run_batch``, optionally through the shard dispatch layer.
+
+    Without ``REPRO_SHARDS`` this is exactly ``run_batch(scenarios,
+    workers=...)``.  With it, the batch goes through
+    plan -> run_shard -> merge (see the module docstring); partition
+    equivalence guarantees the bench's numbers cannot change.  ``name``
+    labels the shard files (defaults to the batch digest).
+    """
+    from repro.api import run_batch
+
+    n_shards = int(os.environ.get("REPRO_SHARDS", "0") or 0)
+    if n_shards <= 1:
+        return run_batch(scenarios, workers=workers)
+
+    from repro.api.dispatch import merge, plan_shards, run_shard
+
+    manifests = plan_shards(scenarios, n_shards)
+    tag = name or manifests[0]["batch_digest"]
+    shard_dir = OUTPUT_DIR / "shards"
+    out = lambda i: shard_dir / f"{tag}_shard{i}of{n_shards}.jsonl"
+    index = os.environ.get("REPRO_SHARD_INDEX")
+    if index is not None:
+        i = int(index)
+        if not 0 <= i < n_shards:
+            raise ValueError(
+                f"REPRO_SHARD_INDEX must satisfy 0 <= index < "
+                f"REPRO_SHARDS={n_shards}, got {i}")
+        run_shard(manifests[i], out(i), workers=workers)
+        pytest.skip(f"shard {i}/{n_shards} written to {out(i)}; merge the "
+                    "full set with 'python -m repro merge'")
+    files = []
+    for manifest in manifests:
+        path = out(manifest["shard_index"])
+        run_shard(manifest, path, workers=workers)
+        files.append(path)
+    return merge(files)
 
 
 def trim(seq, keep: int = 2) -> tuple:

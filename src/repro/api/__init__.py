@@ -70,6 +70,15 @@ from repro.api.registry import (
     workload_names,
 )
 from repro.api.cache import CacheStats, ResultCache
+from repro.api.dispatch import (
+    ShardError,
+    batch_digest,
+    load_manifest,
+    merge,
+    plan_shards,
+    run_shard,
+    write_manifest,
+)
 from repro.api.spec import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec
 from repro.api.run import (
     BatchResult,
@@ -93,19 +102,26 @@ __all__ = [
     "RunReport",
     "Scenario",
     "ScenarioError",
+    "ShardError",
     "TOPOLOGIES",
     "WORKLOADS",
     "WorkloadSpec",
     "algorithm_names",
+    "batch_digest",
     "ensure_providers",
+    "load_manifest",
     "load_scenarios",
+    "merge",
+    "plan_shards",
     "planner_adapter",
     "register_algorithm",
     "register_topology",
     "register_workload",
     "run",
     "run_batch",
+    "run_shard",
     "topology_names",
     "unavailable_reason",
     "workload_names",
+    "write_manifest",
 ]

@@ -1,0 +1,380 @@
+"""Distributed sweep orchestration: shard a batch, run shards, merge.
+
+:func:`repro.api.run.run_batch` saturates one host; this module is the
+layer above it.  A batch of :class:`~repro.api.spec.Scenario` objects is
+partitioned into **shard manifests** -- plain JSON files, each embedding
+its scenarios plus a digest of the whole batch -- that can be copied to
+any number of hosts.  Each host executes its manifest with
+:func:`run_shard` (which is just ``run_batch`` plus a self-describing
+JSONL result file) and the result files are reassembled with
+:func:`merge` into a :class:`~repro.api.run.BatchResult` that is
+bit-identical to running the whole batch serially on one machine.
+
+Why this is sound: every scenario derives all of its randomness from its
+own ``(seed, digest)`` (see :mod:`repro.api.spec`), engines are
+bit-identical by contract, and ``run_batch`` is bit-identical to serial
+for any worker count -- so *where* a scenario runs cannot change its
+report.  ``tests/test_dispatch.py`` enforces the headline guarantee with
+hypothesis: for random batches and random partitions, merged output
+equals the serial ``run_batch`` report-for-report.
+
+Determinism and accounting:
+
+* :func:`plan_shards` orders scenarios by digest and stripes them across
+  shards, so the same batch always yields the same manifests (no
+  dependence on input order beyond tie-breaks, dict order, or host).
+* Every manifest and result file carries the **batch digest** (a stable
+  digest over the ordered scenario digests).  :func:`merge` refuses
+  files from a different batch, duplicated shards, and incomplete
+  coverage -- every scenario digest must be present exactly once.
+* Result files are JSONL: a header line, one ``RunReport.to_dict()``
+  line per scenario, and a footer carrying the shard's cache stats.
+  A crashed shard simply reruns: with a warmed ``REPRO_CACHE`` the rerun
+  is pure cache replay (see the crash-resume test).
+
+Command-line wiring: ``python -m repro sweep --spec f.json --shards N
+[--emit-shards DIR | --shard-index i --out shard_i.jsonl]`` and
+``python -m repro merge shard_*.jsonl``.  The multi-host recipe lives in
+``benchmarks/README.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.api.cache import CacheStats
+from repro.api.run import BatchResult, RunReport, run_batch
+from repro.api.spec import Scenario
+from repro.util.errors import ValidationError
+
+#: bump when the manifest / result-file layout changes incompatibly
+SHARD_SCHEMA = 1
+
+MANIFEST_KIND = "repro-shard-manifest"
+RESULT_KIND = "repro-shard-result"
+FOOTER_KIND = "repro-shard-footer"
+
+
+class ShardError(ValidationError):
+    """A shard manifest or result file is malformed, incomplete,
+    duplicated, or belongs to a different batch."""
+
+
+def _coerce_scenarios(scenarios) -> list:
+    return [s if isinstance(s, Scenario) else Scenario.from_dict(s)
+            for s in scenarios]
+
+
+def batch_digest(scenarios) -> str:
+    """Stable digest of the *ordered* batch (8-hex, like cache keys).
+
+    Covers the scenario digests in input order, so two hosts planning
+    the same spec file agree on it, and a shard produced from a
+    different batch (or the same scenarios in a different order) is
+    detected at merge time.
+    """
+    from repro.analysis.runner import point_digest
+
+    scenarios = _coerce_scenarios(scenarios)
+    digests = tuple(s.digest() for s in scenarios)
+    return f"{point_digest(('batch', digests)):08x}"
+
+
+def plan_shards(scenarios, n_shards: int) -> list:
+    """Partition a batch into ``n_shards`` deterministic shard manifests.
+
+    Scenarios are ordered by digest and striped round-robin across the
+    shards, so the plan depends only on the batch content -- every host
+    planning the same spec computes identical manifests.  Each manifest
+    is a plain JSON-serializable dict embedding its scenarios, their
+    original batch positions, and the batch digest.
+
+    Raises :class:`ShardError` on duplicate scenarios: sharding a
+    duplicate would run it on several hosts, and the merge contract is
+    "every scenario present exactly once" (``run_batch`` itself
+    deduplicates identical scenarios, so deduplicate before planning).
+    Duplicates are detected by :meth:`Scenario.key` -- content identity,
+    not the 32-bit digest, so a CRC collision between genuinely
+    different scenarios is *not* rejected (positions, not digests, are
+    what ``merge`` accounts for).
+    """
+    if n_shards < 1:
+        raise ShardError(f"n_shards must be >= 1, got {n_shards}")
+    scenarios = _coerce_scenarios(scenarios)
+    if not scenarios:
+        raise ShardError("cannot shard an empty batch")
+    seen: dict = {}
+    for i, scenario in enumerate(scenarios):
+        key = scenario.key()
+        if key in seen:
+            raise ShardError(
+                f"duplicate scenario in batch (positions {seen[key]} and "
+                f"{i}): {scenario}"
+            )
+        seen[key] = i
+    batch = batch_digest(scenarios)
+    order = sorted(range(len(scenarios)),
+                   key=lambda i: (scenarios[i].digest(), i))
+    manifests = []
+    for shard_index in range(n_shards):
+        assigned = order[shard_index::n_shards]
+        manifests.append({
+            "kind": MANIFEST_KIND,
+            "schema": SHARD_SCHEMA,
+            "batch_digest": batch,
+            "batch_size": len(scenarios),
+            "n_shards": n_shards,
+            "shard_index": shard_index,
+            "scenarios": [
+                {
+                    "index": i,
+                    "digest": f"{scenarios[i].digest():08x}",
+                    "scenario": scenarios[i].to_dict(),
+                }
+                for i in assigned
+            ],
+        })
+    return manifests
+
+
+def write_manifest(manifest: dict, path) -> pathlib.Path:
+    """Write one shard manifest as canonical JSON (atomically)."""
+    path = pathlib.Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(json.dumps(manifest, sort_keys=True, indent=2) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def load_manifest(source) -> dict:
+    """Load and validate a shard manifest (path, JSON text is not accepted:
+    pass a dict straight from :func:`plan_shards` instead)."""
+    if isinstance(source, dict):
+        manifest = source
+        label = "manifest"
+    else:
+        label = str(source)
+        try:
+            manifest = json.loads(pathlib.Path(source).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ShardError(f"cannot read shard manifest {label}: {exc}") \
+                from None
+    if not isinstance(manifest, dict) \
+            or manifest.get("kind") != MANIFEST_KIND:
+        raise ShardError(f"{label} is not a shard manifest (expected "
+                         f"kind={MANIFEST_KIND!r})")
+    if manifest.get("schema") != SHARD_SCHEMA:
+        raise ShardError(
+            f"{label} uses shard schema {manifest.get('schema')!r}; this "
+            f"version reads schema {SHARD_SCHEMA}")
+    required = {"batch_digest", "batch_size", "n_shards", "shard_index",
+                "scenarios"}
+    missing = sorted(required - set(manifest))
+    if missing:
+        raise ShardError(f"{label} is missing key(s) {missing}")
+    if not 0 <= manifest["shard_index"] < manifest["n_shards"]:
+        raise ShardError(
+            f"{label}: shard_index {manifest['shard_index']} out of range "
+            f"for n_shards={manifest['n_shards']}")
+    for item in manifest["scenarios"]:
+        scenario = Scenario.from_dict(item["scenario"])
+        if f"{scenario.digest():08x}" != item["digest"]:
+            raise ShardError(
+                f"{label}: stored digest {item['digest']} does not match "
+                f"scenario {scenario} ({scenario.digest():08x}) -- "
+                "manifest edited or corrupted")
+    return manifest
+
+
+def run_shard(manifest, out=None, *, workers: int | None = None,
+              cache: str | None = None, cache_dir=None,
+              compute_bound: bool = True) -> BatchResult:
+    """Execute one shard manifest via :func:`run_batch`.
+
+    ``manifest`` is a dict from :func:`plan_shards` or a path to one
+    written by :func:`write_manifest`.  When ``out`` is given, the
+    reports are written (atomically) as a self-describing JSONL result
+    file for :func:`merge`: a header line identifying the shard and its
+    batch, one report line per scenario, and a footer with the shard's
+    cache stats.
+
+    Crash resume is rerun: the execution is cache-backed (same
+    ``cache``/``REPRO_CACHE`` contract as ``run_batch``), so rerunning a
+    shard whose previous attempt died mid-write replays every completed
+    scenario from the result cache and atomically replaces the partial
+    file.
+    """
+    manifest = load_manifest(manifest)
+    scenarios = [Scenario.from_dict(item["scenario"])
+                 for item in manifest["scenarios"]]
+    reports = run_batch(scenarios, workers=workers, cache=cache,
+                        cache_dir=cache_dir, compute_bound=compute_bound)
+    if out is not None:
+        write_shard_result(manifest, reports, out)
+    return reports
+
+
+def write_shard_result(manifest: dict, reports, out) -> pathlib.Path:
+    """Write a shard's reports as the JSONL result file ``merge`` reads."""
+    header = {
+        "kind": RESULT_KIND,
+        "schema": SHARD_SCHEMA,
+        "batch_digest": manifest["batch_digest"],
+        "batch_size": manifest["batch_size"],
+        "n_shards": manifest["n_shards"],
+        "shard_index": manifest["shard_index"],
+        "indices": [item["index"] for item in manifest["scenarios"]],
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    for item, report in zip(manifest["scenarios"], reports):
+        lines.append(json.dumps(
+            {"index": item["index"], "digest": item["digest"],
+             "report": report.to_dict()},
+            sort_keys=True))
+    cache_stats = getattr(reports, "cache_stats", None)
+    footer = {
+        "kind": FOOTER_KIND,
+        "reports": len(manifest["scenarios"]),
+        "cache_stats": vars(cache_stats) if cache_stats is not None else None,
+    }
+    lines.append(json.dumps(footer, sort_keys=True))
+    path = pathlib.Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text("\n".join(lines) + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def _read_shard_result(path) -> tuple:
+    """Parse one result file into ``(header, {index: report}, stats)``.
+
+    Fails loudly on anything short of a complete, well-formed shard:
+    a missing footer (the crash signature of a truncated write), a
+    report-count mismatch, or a report whose recomputed scenario digest
+    disagrees with its recorded one.
+    """
+    label = str(path)
+    try:
+        text = pathlib.Path(path).read_text()
+    except OSError as exc:
+        raise ShardError(f"cannot read shard result {label}: {exc}") from None
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise ShardError(f"{label} is empty, not a shard result file")
+    try:
+        records = [json.loads(line) for line in lines]
+    except json.JSONDecodeError as exc:
+        raise ShardError(
+            f"{label} is truncated or corrupted (bad JSONL line: {exc}); "
+            "rerun the shard to regenerate it") from None
+    header = records[0]
+    if not isinstance(header, dict) or header.get("kind") != RESULT_KIND:
+        raise ShardError(f"{label} is not a shard result file (expected a "
+                         f"kind={RESULT_KIND!r} header)")
+    if header.get("schema") != SHARD_SCHEMA:
+        raise ShardError(
+            f"{label} uses shard schema {header.get('schema')!r}; this "
+            f"version reads schema {SHARD_SCHEMA}")
+    if records[-1].get("kind") != FOOTER_KIND:
+        raise ShardError(
+            f"{label} has no footer -- the shard run was interrupted "
+            "mid-write; rerun the shard (cache-backed, so completed "
+            "scenarios replay for free)")
+    footer = records[-1]
+    body = records[1:-1]
+    declared = header.get("indices", [])
+    if footer.get("reports") != len(body) or len(body) != len(declared):
+        raise ShardError(
+            f"{label} holds {len(body)} report(s) but declares "
+            f"{len(declared)} -- truncated shard; rerun it")
+    reports: dict = {}
+    declared_set = set(declared)
+    for record in body:
+        report = RunReport.from_dict(record["report"])
+        if f"{report.scenario.digest():08x}" != record["digest"]:
+            raise ShardError(
+                f"{label}: report digest {record['digest']} does not match "
+                f"its scenario ({report.scenario.digest():08x}) -- corrupted "
+                "result file")
+        index = record["index"]
+        if index in reports or index not in declared_set:
+            raise ShardError(
+                f"{label}: unexpected or repeated batch position {index}")
+        reports[index] = report
+    stats = footer.get("cache_stats")
+    if stats is not None:
+        stats = CacheStats(**stats)
+    return header, reports, stats
+
+
+def merge(result_files) -> BatchResult:
+    """Reassemble shard result files into the original batch order.
+
+    The output is the :class:`BatchResult` the serial ``run_batch`` of
+    the whole batch would have returned (``tests/test_dispatch.py``
+    proves bit-identity), with ``cache_stats`` aggregated across shards
+    (``None`` when no shard ran with the cache on).  Merge order does
+    not matter: reports are keyed by their recorded batch position.
+
+    Raises :class:`ShardError` when the files do not form exactly one
+    complete batch: a shard from a different batch ("foreign"), the same
+    shard twice, a missing shard, or a truncated/corrupted file.
+    """
+    paths = list(result_files)
+    if not paths:
+        raise ShardError("merge needs at least one shard result file")
+    batch = None
+    batch_size = None
+    n_shards = None
+    seen_shards: dict = {}
+    reports: dict = {}
+    totals: CacheStats | None = None
+    for path in paths:
+        header, shard_reports, stats = _read_shard_result(path)
+        if batch is None:
+            batch, batch_size = header["batch_digest"], header["batch_size"]
+            n_shards = header["n_shards"]
+        elif header["batch_digest"] != batch:
+            raise ShardError(
+                f"{path} belongs to batch {header['batch_digest']}, not "
+                f"{batch} -- refusing to merge foreign shards")
+        elif header["batch_size"] != batch_size \
+                or header["n_shards"] != n_shards:
+            raise ShardError(
+                f"{path} comes from a different plan "
+                f"(batch_size={header['batch_size']}, "
+                f"n_shards={header['n_shards']}; expected {batch_size} and "
+                f"{n_shards})")
+        key = header["shard_index"]
+        if key in seen_shards:
+            raise ShardError(
+                f"shard {key}/{n_shards} appears twice: "
+                f"{seen_shards[key]} and {path}")
+        seen_shards[key] = path
+        for index, report in shard_reports.items():
+            if index in reports:
+                raise ShardError(
+                    f"batch position {index} is reported by more than one "
+                    f"shard file (second: {path})")
+            reports[index] = report
+        if stats is not None:
+            if totals is None:
+                totals = CacheStats()
+            totals.add(stats)
+    missing = sorted(set(range(batch_size)) - set(reports))
+    if missing:
+        raise ShardError(
+            f"merge is missing batch position(s) {missing} of {batch_size} "
+            f"(batch {batch}) -- supply every shard's result file")
+    extra = sorted(set(reports) - set(range(batch_size)))
+    if extra:
+        raise ShardError(
+            f"shard files report position(s) {extra} outside the batch of "
+            f"size {batch_size}")
+    merged = BatchResult(reports[i] for i in range(batch_size))
+    merged.cache_stats = totals
+    return merged

@@ -339,6 +339,13 @@ def run_batch(scenarios, workers: int | None = None, *,
     in the algorithm land in one worker, so the per-process offline-bound
     memo computes each instance's max-flow bound once instead of once per
     algorithm.
+
+    Duplicate scenarios are handled deterministically: identical
+    scenarios execute **once** and every duplicate position receives the
+    same report (previously the duplicates raced each other into the
+    cache -- bit-identical by contract, but wasteful and with
+    nondeterministic store accounting).  The cache counts one lookup per
+    position and one store per *unique* scenario.
     """
     scenarios = [
         s if isinstance(s, Scenario) else Scenario.from_dict(s)
@@ -355,6 +362,19 @@ def run_batch(scenarios, workers: int | None = None, *,
                 results[i] = report
             else:
                 pending.append(i)
+
+    # duplicate positions collapse onto their first occurrence (Scenario
+    # is frozen and hashable); only primaries execute and store
+    duplicates: dict = {}
+    unique_pending: list = []
+    primary_of: dict = {}
+    for i in pending:
+        first = primary_of.setdefault(scenarios[i], i)
+        if first == i:
+            unique_pending.append(i)
+        else:
+            duplicates.setdefault(first, []).append(i)
+    pending = unique_pending
 
     if workers is None or workers <= 1 or len(pending) <= 1:
         for i in pending:
@@ -384,6 +404,10 @@ def run_batch(scenarios, workers: int | None = None, *,
                 for i, report in zip(chunk, reports):
                     results[i] = report
 
+    for first, copies in duplicates.items():
+        for i in copies:
+            results[i] = results[first]
+
     batch = BatchResult(results)
     if store is not None:
         if mode == "readwrite":
@@ -393,24 +417,29 @@ def run_batch(scenarios, workers: int | None = None, *,
     return batch
 
 
-def load_scenarios(path) -> list:
-    """Load scenarios from a JSON spec file.
+def parse_scenarios(data, source="spec") -> list:
+    """Interpret already-parsed spec JSON as a scenario list.
 
     Accepts a single scenario object, a list of scenarios, or a mapping
     with a ``"scenarios"`` list -- so one format serves ``route --spec``
-    and ``sweep --spec`` alike.
+    and ``sweep --spec`` alike (``source`` only labels error messages).
     """
-    import json
-    import pathlib
-
-    data = json.loads(pathlib.Path(path).read_text())
     if isinstance(data, dict) and "scenarios" in data:
         data = data["scenarios"]
     if isinstance(data, dict):
         data = [data]
     if not isinstance(data, list) or not data:
         raise ValidationError(
-            f"spec file {path} must hold a scenario object, a list of them, "
+            f"{source} must hold a scenario object, a list of them, "
             "or {'scenarios': [...]}"
         )
     return [Scenario.from_dict(item) for item in data]
+
+
+def load_scenarios(path) -> list:
+    """Load scenarios from a JSON spec file (see :func:`parse_scenarios`)."""
+    import json
+    import pathlib
+
+    return parse_scenarios(json.loads(pathlib.Path(path).read_text()),
+                           f"spec file {path}")

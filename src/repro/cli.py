@@ -9,7 +9,11 @@ any run can be expressed as (or replayed from) a JSON scenario spec:
 * ``route``   -- run one algorithm (or a ``--spec`` file), print stats;
 * ``compare`` -- algorithms side by side on the same instance;
 * ``sweep``   -- run a batch of scenarios from a spec file, optionally
-  over a process pool (``--workers``);
+  over a process pool (``--workers``) and/or sharded for multi-host
+  execution (``--shards``/``--shard-index``/``--out``, or
+  ``--emit-shards`` to write the manifests; ``--spec`` also accepts a
+  shard manifest directly);
+* ``merge``   -- reassemble shard result files into the batch result;
 * ``figures`` -- the paper's figures as ASCII art.
 """
 
@@ -18,6 +22,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import pathlib
 import sys
 
 from repro.analysis.tables import format_table
@@ -260,10 +265,58 @@ def cmd_compare(args) -> int:
     return 0
 
 
-def cmd_sweep(args) -> int:
-    scenarios = load_scenarios(args.spec)
-    if args.engine is not None:
-        scenarios = [s.replace(engine=args.engine) for s in scenarios]
+_SWEEP_COLUMNS = ["algorithm", "network", "workload", "seed", "throughput",
+                  "bound", "ratio", "engine", "wall_s"]
+
+
+def _report_row(report) -> list:
+    scenario = report.scenario
+    return [scenario.algorithm.name, str(scenario.network),
+            str(scenario.workload), scenario.seed, report.throughput,
+            report.bound, report.ratio, report.engine,
+            f"{report.wall_time:.3f}"]
+
+
+def _validate_sweep_flags(args) -> None:
+    """Reject inconsistent sweep flags with one clear line (exit 2), not a
+    traceback (or, worse, a silently serial run for ``--workers 0``)."""
+    if args.workers is not None and args.workers < 1:
+        raise ValidationError(
+            f"sweep: --workers must be a positive integer, got {args.workers}")
+    if args.shards is not None and args.shards < 1:
+        raise ValidationError(
+            f"sweep: --shards must be a positive integer, got {args.shards}")
+    if args.shard_index is not None:
+        if args.shards is None:
+            raise ValidationError(
+                "sweep: --shard-index needs --shards (the plan it indexes)")
+        if not 0 <= args.shard_index < args.shards:
+            raise ValidationError(
+                f"sweep: --shard-index must satisfy 0 <= index < --shards, "
+                f"got index {args.shard_index} with {args.shards} shard(s)")
+        if args.emit_shards:
+            raise ValidationError(
+                "sweep: --emit-shards writes manifests instead of running; "
+                "drop --shard-index")
+        if not args.out:
+            raise ValidationError(
+                "sweep: a shard run needs --out FILE for its JSONL result "
+                "(merge the files with 'python -m repro merge')")
+    elif args.out and not args.spec_is_manifest:
+        raise ValidationError(
+            "sweep: --out only applies to shard runs (--shard-index, or a "
+            "shard-manifest --spec)")
+    if args.emit_shards and args.shards is None:
+        raise ValidationError("sweep: --emit-shards needs --shards")
+    if args.shards is not None and args.shard_index is None \
+            and not args.emit_shards and not args.spec_is_manifest:
+        raise ValidationError(
+            "sweep: --shards needs --shard-index i --out FILE (run one "
+            "shard) or --emit-shards DIR (write the manifests)")
+
+
+def _runnable_scenarios(scenarios) -> tuple:
+    """Split a batch into runnable scenarios and preformatted n/a rows."""
     rows = [None] * len(scenarios)
     runnable = []
     for i, scenario in enumerate(scenarios):
@@ -274,20 +327,116 @@ def cmd_sweep(args) -> int:
                        f"n/a ({reason})", "", "", "", ""]
         else:
             runnable.append((i, scenario))
+    return runnable, rows
+
+
+def cmd_sweep(args) -> int:
+    from repro.api import load_manifest, plan_shards, run_shard, write_manifest
+    from repro.api.dispatch import MANIFEST_KIND
+
+    try:
+        spec_data = json.loads(pathlib.Path(args.spec).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(f"sweep: cannot read --spec {args.spec}: {exc}")
+    args.spec_is_manifest = (isinstance(spec_data, dict)
+                             and spec_data.get("kind") == MANIFEST_KIND)
+    _validate_sweep_flags(args)
+
+    if args.spec_is_manifest:
+        # the spec *is* one shard of an already-planned batch (the file a
+        # coordinating host emitted with --emit-shards)
+        if args.shards is not None or args.shard_index is not None:
+            raise ValidationError(
+                "sweep: the --spec file is already a shard manifest; "
+                "--shards/--shard-index do not apply")
+        if args.engine is not None:
+            raise ValidationError(
+                "sweep: a shard manifest pins its scenarios (including the "
+                "engine); re-plan with --emit-shards to change them")
+        manifest = load_manifest(spec_data)
+        reports = run_shard(manifest, out=args.out, workers=args.workers,
+                            cache=args.cache)
+        if args.out:
+            print(f"shard {manifest['shard_index']}/{manifest['n_shards']} "
+                  f"of batch {manifest['batch_digest']}: "
+                  f"{len(reports)} report(s) -> {args.out}")
+        else:
+            print(format_table(
+                _SWEEP_COLUMNS, [_report_row(r) for r in reports],
+                title=f"shard {manifest['shard_index']}/"
+                      f"{manifest['n_shards']} of batch "
+                      f"{manifest['batch_digest']}"))
+        if reports.cache_stats is not None:
+            print(reports.cache_stats.summary())
+        return 0
+
+    from repro.api.run import parse_scenarios
+
+    scenarios = parse_scenarios(spec_data, f"spec file {args.spec}")
+    if args.engine is not None:
+        scenarios = [s.replace(engine=args.engine) for s in scenarios]
+
+    if args.shards is not None:
+        # sharding covers the runnable scenarios: capability checks are
+        # deterministic, so every host planning the same spec agrees
+        runnable, rows = _runnable_scenarios(scenarios)
+        skipped = len(scenarios) - len(runnable)
+        if skipped:
+            print(f"note: excluding {skipped} unavailable scenario(s) from "
+                  "the shard plan", file=sys.stderr)
+        manifests = plan_shards([s for _, s in runnable], args.shards)
+        if args.emit_shards:
+            out_dir = pathlib.Path(args.emit_shards)
+            for manifest in manifests:
+                path = out_dir / f"shard_{manifest['shard_index']}.json"
+                write_manifest(manifest, path)
+                print(f"shard {manifest['shard_index']}/{args.shards}: "
+                      f"{len(manifest['scenarios'])} scenario(s) -> {path}")
+            print(f"batch {manifests[0]['batch_digest']}: run each manifest "
+                  "with 'repro sweep --spec shard_i.json --out shard_i.jsonl'"
+                  ", then 'repro merge shard_*.jsonl'")
+            return 0
+        manifest = manifests[args.shard_index]
+        reports = run_shard(manifest, out=args.out, workers=args.workers,
+                            cache=args.cache)
+        print(f"shard {args.shard_index}/{args.shards} of batch "
+              f"{manifest['batch_digest']}: {len(reports)} report(s) "
+              f"-> {args.out}")
+        if reports.cache_stats is not None:
+            print(reports.cache_stats.summary())
+        return 0
+
+    runnable, rows = _runnable_scenarios(scenarios)
     reports = run_batch([s for _, s in runnable], workers=args.workers,
                         cache=args.cache)
     for (i, scenario), report in zip(runnable, reports):
-        rows[i] = [scenario.algorithm.name, str(scenario.network),
-                   str(scenario.workload), scenario.seed, report.throughput,
-                   report.bound, report.ratio, report.engine,
-                   f"{report.wall_time:.3f}"]
+        rows[i] = _report_row(report)
     print(format_table(
-        ["algorithm", "network", "workload", "seed", "throughput", "bound",
-         "ratio", "engine", "wall_s"],
+        _SWEEP_COLUMNS,
         rows,
         title=f"sweep over {len(scenarios)} scenarios "
               f"(workers={args.workers or 1})",
     ))
+    if reports.cache_stats is not None:
+        print(reports.cache_stats.summary())
+    return 0
+
+
+def cmd_merge(args) -> int:
+    from repro.api import merge
+
+    reports = merge(args.files)
+    if args.out:
+        payload = json.dumps([r.to_dict() for r in reports],
+                             sort_keys=True, indent=2) + "\n"
+        pathlib.Path(args.out).write_text(payload)
+        print(f"merged {len(reports)} report(s) from {len(args.files)} "
+              f"shard file(s) -> {args.out}")
+    else:
+        print(format_table(
+            _SWEEP_COLUMNS, [_report_row(r) for r in reports],
+            title=f"merged batch ({len(reports)} scenarios, "
+                  f"{len(args.files)} shard files)"))
     if reports.cache_stats is not None:
         print(reports.cache_stats.summary())
     return 0
@@ -400,13 +549,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_compare)
 
     p = sub.add_parser("sweep", help="run a batch of scenarios from a spec")
-    p.add_argument("--spec", required=True, help="JSON scenario spec file")
+    p.add_argument("--spec", required=True,
+                   help="JSON scenario spec file (or a shard manifest "
+                   "emitted by --emit-shards)")
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool width (results are bit-identical to "
                    "serial for any value)")
+    p.add_argument("--shards", type=int, default=None,
+                   help="partition the batch into N deterministic shards "
+                   "(merged output is bit-identical to the unsharded sweep)")
+    p.add_argument("--shard-index", type=int, default=None,
+                   help="run only shard i of the --shards plan (needs --out)")
+    p.add_argument("--out", default=None,
+                   help="JSONL result file for a shard run (input to "
+                   "'repro merge')")
+    p.add_argument("--emit-shards", default=None, metavar="DIR",
+                   help="write the --shards manifests to DIR instead of "
+                   "running (one JSON file per shard, for other hosts)")
     p.add_argument("--engine", **engine_kwargs)
     p.add_argument("--cache", **cache_kwargs)
     p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "merge",
+        help="reassemble shard result files into the batch result")
+    p.add_argument("files", nargs="+", metavar="SHARD_JSONL",
+                   help="every shard's JSONL result file (any order)")
+    p.add_argument("--out", default=None,
+                   help="write the merged reports as canonical JSON instead "
+                   "of printing the table")
+    p.set_defaults(fn=cmd_merge)
 
     p = sub.add_parser("list", help="registered algorithms/workloads/topologies")
     p.set_defaults(fn=cmd_list)

@@ -245,6 +245,51 @@ class TestRunBatch:
         sc = line_scenario()
         assert run_batch([sc.to_dict()]) == [run(sc)]
 
+    def test_duplicate_scenarios_execute_once(self, monkeypatch):
+        """Pinned behaviour: identical scenarios in one batch are handled
+        deterministically -- a single execution whose report fills every
+        duplicate position (duplicates used to race each other into the
+        cache: bit-identical by contract, but wasted work and
+        nondeterministic store accounting)."""
+        import sys
+
+        run_mod = sys.modules["repro.api.run"]
+
+        sc = line_scenario(seed=4)
+        other = line_scenario("greedy", seed=4)
+        batch = [sc, other, sc, sc]
+
+        calls = []
+        real = run_mod._execute
+
+        def counting(scenario, compute_bound):
+            calls.append(scenario)
+            return real(scenario, compute_bound)
+
+        monkeypatch.setattr(run_mod, "_execute", counting)
+        reports = run_batch(batch)
+        assert calls == [sc, other]  # one execution per unique scenario
+        assert reports[0] == reports[2] == reports[3] == run(sc)
+        assert reports[1] == run(other)
+        assert [r.scenario for r in reports] == batch
+
+    def test_duplicate_scenarios_store_once(self, tmp_path):
+        """Cache accounting for duplicates: one lookup per position, one
+        store per unique scenario; a warmed rerun hits every position."""
+        sc = line_scenario(seed=5)
+        batch = [sc, sc, line_scenario("greedy", seed=5)]
+        cold = run_batch(batch, cache="readwrite", cache_dir=tmp_path)
+        assert cold.cache_stats.misses == 3
+        assert cold.cache_stats.stores == 2
+        warm = run_batch(batch, cache="readwrite", cache_dir=tmp_path)
+        assert warm.cache_stats.hits == 3
+        assert list(warm) == list(cold)
+
+    def test_duplicate_scenarios_pooled_match_serial(self):
+        sc = line_scenario(seed=6)
+        batch = [sc, line_scenario("greedy", seed=6), sc]
+        assert run_batch(batch, workers=3) == run_batch(batch)
+
     def test_spec_file_round_trip(self, tmp_path):
         from repro.api import load_scenarios
 

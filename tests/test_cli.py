@@ -275,6 +275,107 @@ class TestSpecs:
             assert compare_rows[name] == sweep_rows[name], name
         assert "n/a" in compare_rows["rand"] and "n/a" in sweep_rows["rand"]
 
+    def test_sweep_rejects_nonpositive_workers(self, tmp_path, capsys):
+        """--workers 0 used to run silently serial; negative likewise.
+        Both must exit 2 with one clear line, not a traceback."""
+        path = tmp_path / "sc.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        for workers in ("0", "-2"):
+            assert main(["sweep", "--spec", str(path),
+                         "--workers", workers]) == 2
+            err = capsys.readouterr().err
+            assert "--workers must be a positive integer" in err
+            assert "Traceback" not in err
+
+    def test_sweep_rejects_bad_shard_flags(self, tmp_path, capsys):
+        path = tmp_path / "sc.json"
+        path.write_text(json.dumps(self.SCENARIO))
+        cases = (
+            (["--shards", "2", "--shard-index", "2", "--out", "s.jsonl"],
+             "0 <= index < --shards"),
+            (["--shards", "2", "--shard-index", "-1", "--out", "s.jsonl"],
+             "0 <= index < --shards"),
+            (["--shards", "0", "--shard-index", "0", "--out", "s.jsonl"],
+             "--shards must be a positive integer"),
+            (["--shard-index", "0", "--out", "s.jsonl"],
+             "--shard-index needs --shards"),
+            (["--shards", "2", "--shard-index", "0"], "needs --out"),
+            (["--out", "s.jsonl"], "--out only applies to shard runs"),
+            (["--shards", "2"], "--shards needs --shard-index"),
+        )
+        for flags, message in cases:
+            assert main(["sweep", "--spec", str(path)] + flags) == 2, flags
+            err = capsys.readouterr().err
+            assert message in err, (flags, err)
+            assert "Traceback" not in err
+
+    def _shard_spec(self, tmp_path):
+        scenarios = [dict(self.SCENARIO, seed=s, algorithm={"name": name})
+                     for s in (0, 1)
+                     for name in ("greedy", "ntg")]
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(scenarios))
+        return path
+
+    def test_sharded_sweep_merges_to_unsharded_table(self, tmp_path, capsys):
+        """Acceptance: shard runs + merge print the same measurements as
+        the plain sweep (modulo the wall-clock column)."""
+        path = self._shard_spec(tmp_path)
+        assert main(["sweep", "--spec", str(path)]) == 0
+        plain = capsys.readouterr().out
+        files = []
+        for i in range(3):
+            out = tmp_path / f"shard_{i}.jsonl"
+            assert main(["sweep", "--spec", str(path), "--shards", "3",
+                         "--shard-index", str(i), "--out", str(out)]) == 0
+            files.append(str(out))
+        capsys.readouterr()
+        assert main(["merge"] + files) == 0
+        merged = capsys.readouterr().out
+
+        def strip_wall(text):
+            return [[c.strip() for c in line.split("|")][:-1]
+                    for line in text.splitlines() if "|" in line]
+
+        assert strip_wall(plain) == strip_wall(merged)
+
+    def test_merge_out_writes_canonical_json(self, tmp_path, capsys):
+        path = self._shard_spec(tmp_path)
+        out = tmp_path / "s0.jsonl"
+        assert main(["sweep", "--spec", str(path), "--shards", "1",
+                     "--shard-index", "0", "--out", str(out)]) == 0
+        merged = tmp_path / "merged.json"
+        assert main(["merge", str(out), "--out", str(merged)]) == 0
+        reports = json.loads(merged.read_text())
+        assert len(reports) == 4
+        assert all("throughput" in r and "scenario" in r for r in reports)
+
+    def test_merge_refuses_incomplete_set(self, tmp_path, capsys):
+        path = self._shard_spec(tmp_path)
+        out = tmp_path / "s0.jsonl"
+        assert main(["sweep", "--spec", str(path), "--shards", "2",
+                     "--shard-index", "0", "--out", str(out)]) == 0
+        assert main(["merge", str(out)]) == 2
+        assert "missing batch position" in capsys.readouterr().err
+
+    def test_emit_shards_then_run_manifests(self, tmp_path, capsys):
+        path = self._shard_spec(tmp_path)
+        plan_dir = tmp_path / "plans"
+        assert main(["sweep", "--spec", str(path), "--shards", "2",
+                     "--emit-shards", str(plan_dir)]) == 0
+        manifests = sorted(plan_dir.glob("shard_*.json"))
+        assert len(manifests) == 2
+        files = []
+        for i, manifest in enumerate(manifests):
+            out = tmp_path / f"m{i}.jsonl"
+            assert main(["sweep", "--spec", str(manifest),
+                         "--out", str(out)]) == 0
+            files.append(str(out))
+        capsys.readouterr()
+        assert main(["merge"] + files) == 0
+        merged = capsys.readouterr().out
+        assert "merged batch (4 scenarios, 2 shard files)" in merged
+
     def test_sweep_workers_match_serial(self, tmp_path, capsys):
         scenarios = [dict(self.SCENARIO, seed=s, algorithm={"name": name})
                      for s in (0, 1)

@@ -1,0 +1,340 @@
+"""Partition-equivalence suite for the shard dispatcher (repro.api.dispatch).
+
+The headline guarantee of the distributed sweep orchestrator: **for
+every partition of a batch into shards, the merged output is
+bit-identical to the serial ``run_batch``** -- same reports in the same
+order, same ``meta``, and (when the cache is on) the same aggregate
+cache accounting.  Hypothesis draws random scenario batches, random
+shard counts, and random merge orders to hunt for counterexamples.
+
+The second pillar is *fail loudly*: ``merge`` must reject anything
+short of exactly one complete batch -- a missing shard, the same shard
+twice, a shard from a different batch, or a result file truncated by a
+crash.  Crash recovery itself is rerun-based and cache-backed: the
+crash-resume test truncates a shard's JSONL mid-file and shows the
+rerun completing entirely from cache hits with byte-identical output.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import random
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import (
+    NetworkSpec,
+    Scenario,
+    ShardError,
+    WorkloadSpec,
+    batch_digest,
+    load_manifest,
+    merge,
+    plan_shards,
+    run_batch,
+    run_shard,
+    write_manifest,
+)
+from repro.api.dispatch import write_shard_result
+
+
+def scenario(seed=0, algorithm="ntg", n=12, num=16, engine=None):
+    """A cheap runnable scenario (greedy family on a small line)."""
+    return Scenario(
+        network=NetworkSpec("line", (n,), 2, 2),
+        workload=WorkloadSpec("uniform", {"num": num, "horizon": n}),
+        algorithm=algorithm,
+        horizon=4 * n,
+        seed=seed,
+        engine=engine,
+    )
+
+
+@st.composite
+def batches(draw, min_size=1, max_size=8):
+    """Random batches of cheap scenarios with pairwise-distinct digests
+    (the plan contract; duplicates are covered separately)."""
+    raw = draw(st.lists(
+        st.builds(
+            scenario,
+            seed=st.integers(0, 9),
+            algorithm=st.sampled_from(("ntg", "greedy", "edd")),
+            n=st.integers(6, 12),
+            num=st.integers(4, 20),
+        ),
+        min_size=min_size, max_size=max_size,
+    ))
+    seen, batch = set(), []
+    for s in raw:
+        if s.digest() not in seen:
+            seen.add(s.digest())
+            batch.append(s)
+    hypothesis.assume(batch)
+    return batch
+
+
+def run_all_shards(manifests, directory, **kwargs) -> list:
+    # default to cache="off": the ambient REPRO_CACHE (which flips the
+    # default mode to readwrite) must neither leak real cache state into
+    # these assertions nor let them write into a user's cache directory
+    kwargs.setdefault("cache", "off")
+    files = []
+    for manifest in manifests:
+        path = pathlib.Path(directory) / f"s{manifest['shard_index']}.jsonl"
+        run_shard(manifest, path, **kwargs)
+        files.append(path)
+    return files
+
+
+class TestPlan:
+    def test_plan_is_deterministic_and_digest_ordered(self):
+        batch = [scenario(seed=s, algorithm=a)
+                 for s in range(4) for a in ("ntg", "greedy")]
+        plans = [plan_shards(batch, 3) for _ in range(2)]
+        assert plans[0] == plans[1]
+        digests = [item["digest"]
+                   for manifest in plans[0]
+                   for item in manifest["scenarios"]]
+        # striped assignment of the digest-sorted order: each shard's own
+        # sequence is sorted, and the union is the whole batch exactly once
+        for manifest in plans[0]:
+            own = [item["digest"] for item in manifest["scenarios"]]
+            assert own == sorted(own)
+        assert sorted(digests) == sorted(f"{s.digest():08x}" for s in batch)
+        assert len(set(digests)) == len(batch)
+
+    def test_plan_is_independent_of_input_order_modulo_positions(self):
+        batch = [scenario(seed=s) for s in range(5)]
+        shuffled = list(reversed(batch))
+        a = plan_shards(batch, 2)
+        b = plan_shards(shuffled, 2)
+        # same scenarios land on the same shards (positions differ because
+        # they index the caller's batch order)
+        for ma, mb in zip(a, b):
+            assert [i["digest"] for i in ma["scenarios"]] \
+                == [i["digest"] for i in mb["scenarios"]]
+        # but the batch digest covers the order: these are different batches
+        assert a[0]["batch_digest"] != b[0]["batch_digest"]
+
+    def test_plan_rejects_duplicates(self):
+        with pytest.raises(ShardError, match="duplicate scenario"):
+            plan_shards([scenario(), scenario()], 2)
+
+    def test_plan_rejects_bad_shard_counts(self):
+        with pytest.raises(ShardError, match="n_shards"):
+            plan_shards([scenario()], 0)
+        with pytest.raises(ShardError, match="empty"):
+            plan_shards([], 1)
+
+    def test_more_shards_than_scenarios_yields_empty_shards(self, tmp_path):
+        batch = [scenario(seed=s) for s in range(2)]
+        manifests = plan_shards(batch, 4)
+        assert sum(len(m["scenarios"]) for m in manifests) == 2
+        files = run_all_shards(manifests, tmp_path)
+        assert list(merge(files)) == list(run_batch(batch, cache="off"))
+
+    def test_manifest_round_trips_through_file(self, tmp_path):
+        manifest = plan_shards([scenario(seed=s) for s in range(3)], 2)[1]
+        path = write_manifest(manifest, tmp_path / "m.json")
+        assert load_manifest(path) == manifest
+
+    def test_tampered_manifest_rejected(self, tmp_path):
+        manifest = plan_shards([scenario()], 1)[0]
+        manifest["scenarios"][0]["scenario"]["seed"] = 99  # digest now stale
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(manifest))
+        with pytest.raises(ShardError, match="does not match"):
+            load_manifest(path)
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much,
+                                 HealthCheck.data_too_large])
+@given(batch=batches(), n_shards=st.integers(1, 10),
+       shuffle_seed=st.integers(0, 2**16))
+def test_partition_equivalence(batch, n_shards, shuffle_seed):
+    """Any shard count, any partition stripe, any merge order: merged
+    output equals the serial run_batch report-for-report (RunReport
+    equality covers every measured field, the scenario, and ``meta``)."""
+    serial = run_batch(batch, cache="off")
+    with tempfile.TemporaryDirectory() as tmp:
+        files = run_all_shards(plan_shards(batch, n_shards), tmp)
+        random.Random(shuffle_seed).shuffle(files)
+        merged = merge(files)
+    assert list(merged) == list(serial)
+    assert [r.scenario for r in merged] == [r.scenario for r in serial]
+    assert [r.meta for r in merged] == [r.meta for r in serial]
+    assert merged.cache_stats is None  # no shard ran with the cache on
+
+
+@settings(max_examples=5, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much,
+                                 HealthCheck.data_too_large])
+@given(batch=batches(min_size=2, max_size=5), n_shards=st.integers(2, 4))
+def test_partition_equivalence_with_cache(batch, n_shards):
+    """With the cache on, the merged batch also reproduces the serial
+    run's aggregate cache accounting (misses/stores split across shards
+    sum to the serial totals)."""
+    with tempfile.TemporaryDirectory() as serial_cache, \
+            tempfile.TemporaryDirectory() as shard_cache, \
+            tempfile.TemporaryDirectory() as tmp:
+        serial = run_batch(batch, cache="readwrite", cache_dir=serial_cache)
+        files = run_all_shards(plan_shards(batch, n_shards), tmp,
+                               cache="readwrite", cache_dir=shard_cache)
+        merged = merge(files)
+        assert list(merged) == list(serial)
+        assert vars(merged.cache_stats) == vars(serial.cache_stats)
+        # and a rerun of every shard is pure replay, still equal
+        refiles = run_all_shards(plan_shards(batch, n_shards), tmp,
+                                 cache="readwrite", cache_dir=shard_cache)
+        remerged = merge(refiles)
+        assert list(remerged) == list(serial)
+        assert remerged.cache_stats.hits == len(batch)
+        assert remerged.cache_stats.misses == 0
+
+
+class TestMergeRejects:
+    @pytest.fixture
+    def shard_files(self, tmp_path):
+        batch = [scenario(seed=s, algorithm=a)
+                 for s in range(3) for a in ("ntg", "greedy")]
+        return run_all_shards(plan_shards(batch, 3), tmp_path)
+
+    def test_missing_shard(self, shard_files):
+        with pytest.raises(ShardError, match="missing batch position"):
+            merge(shard_files[:-1])
+
+    def test_duplicate_shard(self, shard_files):
+        with pytest.raises(ShardError, match="appears twice"):
+            merge(shard_files + [shard_files[0]])
+
+    def test_foreign_shard(self, shard_files, tmp_path):
+        foreign = plan_shards([scenario(seed=77)], 1)
+        foreign_files = run_all_shards(foreign, tmp_path / "other")
+        with pytest.raises(ShardError, match="foreign"):
+            merge(shard_files[:-1] + foreign_files)
+
+    def test_mixed_plans_rejected(self, shard_files, tmp_path):
+        batch = [scenario(seed=s, algorithm=a)
+                 for s in range(3) for a in ("ntg", "greedy")]
+        other_plan = run_all_shards(plan_shards(batch, 2), tmp_path / "p2")
+        with pytest.raises(ShardError, match="different plan"):
+            merge(shard_files + other_plan)
+
+    def test_truncated_file(self, shard_files):
+        path = shard_files[0]
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")  # drop the footer
+        with pytest.raises(ShardError, match="no footer"):
+            merge(shard_files)
+
+    def test_half_written_line(self, shard_files):
+        path = shard_files[0]
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ShardError, match="truncated|no footer"):
+            merge(shard_files)
+
+    def test_not_a_shard_file(self, tmp_path, shard_files):
+        rogue = tmp_path / "rogue.jsonl"
+        rogue.write_text('{"hello": 1}\n')
+        with pytest.raises(ShardError, match="not a shard result"):
+            merge(shard_files + [rogue])
+
+    def test_empty_input(self):
+        with pytest.raises(ShardError, match="at least one"):
+            merge([])
+
+
+class TestCrashResume:
+    def test_truncated_shard_reruns_from_cache(self, tmp_path):
+        """The resume contract: a shard that died mid-write is simply
+        rerun; with the cache warmed by the first attempt the rerun is
+        100% replay and the merged batch is byte-identical."""
+        batch = [scenario(seed=s, algorithm=a)
+                 for s in range(3) for a in ("ntg", "greedy")]
+        manifests = plan_shards(batch, 2)
+        cache_dir = tmp_path / "cache"
+        files = run_all_shards(manifests, tmp_path, cache="readwrite",
+                               cache_dir=cache_dir)
+
+        def merged_bytes():
+            return json.dumps([r.to_dict() for r in merge(files)],
+                              sort_keys=True)
+
+        before = merged_bytes()
+
+        # crash: shard 0's JSONL loses its footer and its last report line
+        victim = files[0]
+        intact_lines = victim.read_text().splitlines()
+        victim.write_text("\n".join(intact_lines[:-2]) + "\n")
+        with pytest.raises(ShardError):
+            merge(files)
+
+        # resume = rerun the same manifest: every scenario replays from the
+        # cache (no recomputation) and the file is atomically replaced
+        rerun = run_shard(manifests[0], victim, cache="readwrite",
+                          cache_dir=cache_dir)
+        assert rerun.cache_stats.hits == len(manifests[0]["scenarios"])
+        assert rerun.cache_stats.misses == 0
+        # header and every report line are byte-identical (cache replay);
+        # only the footer's hit/miss accounting legitimately differs
+        assert victim.read_text().splitlines()[:-1] == intact_lines[:-1]
+        assert merged_bytes() == before
+
+    def test_shard_file_write_is_atomic(self, tmp_path):
+        manifests = plan_shards([scenario(seed=s) for s in range(2)], 1)
+        run_shard(manifests[0], tmp_path / "s0.jsonl", cache="off")
+        assert [p.name for p in tmp_path.iterdir()] == ["s0.jsonl"]
+
+
+class TestBatchDigest:
+    def test_engine_excluded(self):
+        fast = [scenario(seed=s, engine="fast") for s in range(2)]
+        ref = [scenario(seed=s, engine="reference") for s in range(2)]
+        assert batch_digest(fast) == batch_digest(ref)
+
+    def test_order_and_content_sensitive(self):
+        batch = [scenario(seed=s) for s in range(3)]
+        assert batch_digest(batch) != batch_digest(list(reversed(batch)))
+        assert batch_digest(batch) != batch_digest(batch[:-1])
+
+    def test_cross_engine_merge_measures_identically(self, tmp_path):
+        """Shards of the same batch pinned to different engines still
+        merge (engines are bit-identical by contract; the digest excludes
+        the engine field)."""
+        batch = [scenario(seed=s) for s in range(4)]
+        serial = run_batch(batch, cache="off")
+        manifests = plan_shards(batch, 2)
+        # rewrite shard 1's scenarios to run on the fast engine
+        for item in manifests[1]["scenarios"]:
+            item["scenario"]["engine"] = "fast"
+        files = run_all_shards(manifests, tmp_path)
+        merged = merge(files)
+        for got, want in zip(merged, serial):
+            assert got.throughput == want.throughput
+            assert got.late == want.late
+            assert got.steps == want.steps
+
+
+def test_write_shard_result_roundtrip(tmp_path):
+    """The JSONL layout is self-describing: header declares the shard,
+    body lines carry (index, digest, report), footer closes the file."""
+    batch = [scenario(seed=s) for s in range(2)]
+    manifest = plan_shards(batch, 1)[0]
+    reports = run_batch([Scenario.from_dict(i["scenario"])
+                         for i in manifest["scenarios"]], cache="off")
+    path = write_shard_result(manifest, reports, tmp_path / "s.jsonl")
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["kind"] == "repro-shard-result"
+    assert lines[0]["batch_digest"] == manifest["batch_digest"]
+    assert [rec["index"] for rec in lines[1:-1]] == lines[0]["indices"]
+    assert lines[-1]["kind"] == "repro-shard-footer"
+    assert lines[-1]["reports"] == 2
