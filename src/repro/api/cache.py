@@ -25,6 +25,17 @@ to a colliding scenario are *ignored* (counted in
 :attr:`CacheStats.invalid` / treated as misses) and overwritten on the
 next ``readwrite`` run; corruption can cost time, never correctness.
 
+Besides full reports the store also keeps *offline-bound* entries
+(:meth:`ResultCache.load_bound` / :meth:`ResultCache.store_bound`): the
+(max-flow) bound is a pure function of ``(seed, instance)`` --
+independent of the algorithm -- so one entry serves every algorithm
+swept over that instance, across processes and sessions.  Bound entries
+are keyed by ``(seed, instance_digest)`` with the full
+:meth:`~repro.api.spec.Scenario.instance_key` embedded as a collision
+guard, and are deliberately *not* counted in :class:`CacheStats` (which
+accounts report replays; the bound is an implementation detail of
+computing one).
+
 Configuration
 -------------
 * ``REPRO_CACHE`` (environment) -- cache directory; when set, ``run`` /
@@ -181,12 +192,58 @@ class ResultCache:
 
     def store(self, report) -> None:
         path = self.entry_path(report.scenario)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"schema": SCHEMA_VERSION, "report": report.to_dict()}
+        self._write(path, payload)
+        self.stats.stores += 1
+
+    def bound_path(self, scenario) -> pathlib.Path:
+        return (self.root / f"v{SCHEMA_VERSION}"
+                / f"bound_{scenario.seed}_{scenario.instance_digest():08x}.json")
+
+    def load_bound(self, scenario) -> float | None:
+        """Return the cached offline bound for ``scenario``'s instance,
+        or ``None``.
+
+        The entry is algorithm-independent: any scenario sharing the
+        ``(seed, instance)`` pair hits it.  A digest collision, schema
+        mismatch, or non-finite value degrades to ``None`` (recompute),
+        never to a wrong bound.  Not counted in :attr:`stats`.
+        """
+        import math
+
+        path = self.bound_path(scenario)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        # collision guard: compare the full instance key through a JSON
+        # round-trip (tuples become lists on disk)
+        expected = json.loads(json.dumps(
+            [scenario.seed, scenario.instance_key()]))
+        if payload.get("instance") != expected:
+            return None
+        bound = payload.get("bound")
+        if not isinstance(bound, (int, float)) or not math.isfinite(bound):
+            return None
+        return float(bound)
+
+    def store_bound(self, scenario, bound: float) -> None:
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "kind": "offline-bound",
+            "instance": [scenario.seed, scenario.instance_key()],
+            "bound": float(bound),
+        }
+        self._write(self.bound_path(scenario), payload)
+
+    def _write(self, path: pathlib.Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + f".tmp{os.getpid()}")
         tmp.write_text(json.dumps(payload, sort_keys=True))
         os.replace(tmp, path)
-        self.stats.stores += 1
 
     def flush_stats(self) -> CacheStats:
         """Fold this instance's counters into :data:`GLOBAL_STATS` and

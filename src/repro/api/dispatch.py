@@ -206,6 +206,11 @@ def run_shard(manifest, out=None, *, workers: int | None = None,
     shard whose previous attempt died mid-write replays every completed
     scenario from the result cache and atomically replaces the partial
     file.
+
+    Engine selection rides along unchanged: a shard whose scenarios
+    resolve to ``engine="batch"`` executes its eligible subset as one
+    stacked array program inside ``run_batch`` -- sharding composes with
+    stacking, and merged output stays bit-identical either way.
     """
     manifest = load_manifest(manifest)
     scenarios = [Scenario.from_dict(item["scenario"])

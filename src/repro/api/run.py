@@ -12,6 +12,15 @@ every scenario derives all of its randomness from its own ``(seed,
 digest)`` -- see :mod:`repro.api.spec` -- batch output is bit-identical to
 the serial run for any worker count.
 
+Scenarios that resolve to the ``"batch"`` engine take a third path:
+eligible ones (see :func:`_batch_reason`) are *stacked* -- the whole
+group runs as one fused array program in the parent process through
+:class:`~repro.network.fast_batch_engine.FastBatchEngine`, which
+amortizes the per-step numpy overhead across the group instead of
+paying it once per scenario.  Ineligible scenarios fall back to the
+per-scenario path; the measured quantities are bit-identical either
+way (fuzz-enforced by ``tests/test_differential.py``).
+
 Both accept ``cache="off" | "read" | "readwrite"`` (default: ``"off"``,
 or ``"readwrite"`` when the ``REPRO_CACHE`` environment variable names a
 cache directory): repeated sweeps then replay identical points from the
@@ -27,6 +36,7 @@ import dataclasses
 import math
 import time
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.api.cache import CacheStats, ResultCache, resolve_mode
@@ -47,17 +57,43 @@ class ScenarioError(ValidationError):
 #: not identity: a crc collision here would serve a wrong bound)
 _bound_cache: dict = {}
 
+#: (cache root or None, writes enabled) -- the on-disk tier below the memo.
+#: Module state rather than an ``_execute`` parameter so the worker entry
+#: point and every monkeypatched ``_execute`` keep their signatures; set
+#: via :func:`_bound_io` in the parent and from the chunk args in workers.
+_BOUND_IO: tuple = (None, False)
+
+
+@contextmanager
+def _bound_io(store, mode: str):
+    """Scope the on-disk bound cache to one run/run_batch call."""
+    global _BOUND_IO
+    previous = _BOUND_IO
+    _BOUND_IO = (store, mode == "readwrite") if store is not None \
+        else (None, False)
+    try:
+        yield
+    finally:
+        _BOUND_IO = previous
+
 
 def _instance_bound(scenario: Scenario, network, requests) -> float:
-    from repro.baselines.offline import offline_bound  # heavy; import late
-
     key = (scenario.seed, scenario.instance_key())
     value = _bound_cache.get(key)
+    if value is not None:
+        return value
+    store, write = _BOUND_IO
+    if store is not None:
+        value = store.load_bound(scenario)
     if value is None:
+        from repro.baselines.offline import offline_bound  # heavy; import late
+
         value = float(offline_bound(network, requests, scenario.horizon))
-        if len(_bound_cache) > 4096:
-            _bound_cache.clear()
-        _bound_cache[key] = value
+        if store is not None and write:
+            store.store_bound(scenario, value)
+    if len(_bound_cache) > 4096:
+        _bound_cache.clear()
+    _bound_cache[key] = value
     return value
 
 
@@ -293,7 +329,8 @@ def run(scenario: Scenario, *, cache: str | None = None,
         if report is not None:
             store.flush_stats()
             return report
-    report = _execute(scenario, compute_bound)
+    with _bound_io(store, mode):
+        report = _execute(scenario, compute_bound)
     if store is not None:
         if mode == "readwrite":
             store.store(report)
@@ -304,10 +341,105 @@ def run(scenario: Scenario, *, cache: str | None = None,
 def _run_chunk(args) -> list:
     """Run one worker's chunk serially; module-level so it pickles.
 
-    Workers never consult the cache: the parent resolved every hit before
-    sharding and performs the stores itself (single writer)."""
-    scenarios, compute_bound = args
-    return [_execute(s, compute_bound) for s in scenarios]
+    Workers never consult the *report* cache: the parent resolved every
+    hit before sharding and performs the stores itself (single writer).
+    They do share the *bound* tier -- offline bounds are instance-keyed,
+    algorithm-independent values whose recomputation across processes is
+    exactly what the on-disk entries exist to avoid (atomic writes make
+    concurrent writers safe: last identical payload wins)."""
+    scenarios, compute_bound, bound_root, bound_write = args
+    store = ResultCache(bound_root) if bound_root is not None else None
+    with _bound_io(store, "readwrite" if bound_write else "read"):
+        return [_execute(s, compute_bound) for s in scenarios]
+
+
+def _batch_reason(scenario: Scenario) -> str | None:
+    """Why ``scenario`` cannot join a stacked batch execution (``None``
+    when it can) -- the run-level eligibility predicate for the
+    ``"batch"`` engine.
+
+    Checks, in order: the algorithm registers a ``batch_policy`` factory,
+    the factory accepts this parameterization (it may return ``None``,
+    e.g. ``edd(adapter=true)``), and
+    :meth:`~repro.network.fast_batch_engine.FastBatchEngine.unsupported_reason`
+    accepts the resulting policy.  Ineligible scenarios fall back to the
+    per-scenario path; :func:`run_batch` raises only when every
+    explicitly ``engine="batch"`` scenario is ineligible.
+    """
+    from repro.network.fast_batch_engine import FastBatchEngine
+
+    entry = ALGORITHMS.get(scenario.algorithm.name)
+    params = scenario.algorithm.kwargs()
+    entry.validate_params(params)  # genuine spec errors still raise
+    if entry.metadata.get("batch_policy") is None:
+        return (f"algorithm {scenario.algorithm.name!r} has no batch "
+                "policy (RegistryEntry.batch_engine == 'no')")
+    policy = entry.batch_policy(params)
+    if policy is None:
+        return (f"{scenario.algorithm} is parameterized for the "
+                "per-scenario path")
+    return FastBatchEngine.unsupported_reason(policy)
+
+
+def _execute_stacked(scenarios, compute_bound: bool) -> list:
+    """Run a batch-eligible group as *one* stacked array execution.
+
+    Runs in the parent process (the stacked engine already amortizes the
+    per-step numpy overhead that the pool exists to parallelize around).
+    Every scenario must have passed :func:`_batch_reason`; capability
+    violations still raise :class:`ScenarioError` exactly like
+    :func:`_execute`.  ``engine_time`` is the stacked wall time divided
+    evenly across the group (per-scenario attribution inside one fused
+    array program is not meaningful).
+    """
+    from repro.network.fast_batch_engine import FastBatchEngine
+
+    t0 = time.perf_counter()
+    jobs = []
+    for scenario in scenarios:
+        entry = ALGORITHMS.get(scenario.algorithm.name)
+        network = scenario.network.build()
+        reason = unavailable_reason(scenario, network)
+        if reason is not None:
+            raise ScenarioError(
+                f"{scenario.algorithm.name!r} on {scenario.network}: {reason}")
+        policy = entry.batch_policy(scenario.algorithm.kwargs())
+        _, requests = scenario.build_instance(network)
+        jobs.append((network, policy, requests, scenario.horizon))
+    t1 = time.perf_counter()
+    stacked = FastBatchEngine(jobs).run_many()
+    engine_time = (time.perf_counter() - t1) / len(jobs)
+
+    reports = []
+    for scenario, (network, _policy, requests, _h), result in zip(
+            scenarios, jobs, stacked):
+        if compute_bound:
+            bound = _instance_bound(scenario, network, requests)
+        else:
+            bound = math.nan
+        arrivals = {r.rid: r.arrival for r in requests}
+        latencies = [t - arrivals[rid]
+                     for rid, t in result.stats.delivery_times.items()]
+        latency_mean = (float(sum(latencies) / len(latencies))
+                        if latencies else math.nan)
+        latency_max = float(max(latencies)) if latencies else math.nan
+        reports.append(RunReport(
+            scenario=scenario,
+            requests=len(requests),
+            throughput=result.throughput,
+            bound=float(bound),
+            late=result.stats.late,
+            rejected=result.stats.rejected,
+            preempted=result.stats.preempted,
+            latency_mean=latency_mean,
+            latency_max=latency_max,
+            steps=result.stats.steps,
+            engine=result.engine,
+            wall_time=time.perf_counter() - t0,
+            engine_time=engine_time,
+            meta={},
+        ))
+    return reports
 
 
 class BatchResult(list):
@@ -346,6 +478,17 @@ def run_batch(scenarios, workers: int | None = None, *,
     cache -- bit-identical by contract, but wasteful and with
     nondeterministic store accounting).  The cache counts one lookup per
     position and one store per *unique* scenario.
+
+    Scenarios resolving to ``engine="batch"`` (explicitly or via
+    ``REPRO_ENGINE=batch``) are partitioned: the batch-eligible subset
+    runs as one stacked array execution in the parent, the rest fall
+    back per-scenario.  A batch where *every* explicitly
+    ``engine="batch"`` scenario is ineligible raises a clean
+    :class:`ScenarioError` listing the reasons; env-derived selection
+    always degrades gracefully.  With the cache on, the offline-bound
+    tier (``bound_*.json`` entries keyed by ``(seed, instance)``) is
+    shared across algorithms, workers, and sessions, so each instance's
+    max-flow bound is computed once ever, not once per algorithm.
     """
     scenarios = [
         s if isinstance(s, Scenario) else Scenario.from_dict(s)
@@ -376,33 +519,74 @@ def run_batch(scenarios, workers: int | None = None, *,
             duplicates.setdefault(first, []).append(i)
     pending = unique_pending
 
-    if workers is None or workers <= 1 or len(pending) <= 1:
-        for i in pending:
-            results[i] = _execute(scenarios[i], compute_bound)
-    else:
-        groups: dict = {}  # (seed, instance digest) -> pending indices
-        for i in pending:
-            scenario = scenarios[i]
-            groups.setdefault((scenario.seed, scenario.instance_digest()),
-                              []).append(i)
-        target = max(1, len(pending) // (4 * workers))
-        chunks, current = [], []
-        for indices in groups.values():
-            current.extend(indices)
-            if len(current) >= target:
-                chunks.append(current)
-                current = []
-        if current:
-            chunks.append(current)
+    # partition: scenarios that resolve to the "batch" engine and pass the
+    # eligibility predicate run as ONE stacked array execution in the
+    # parent; everything else takes the per-scenario serial/pool path
+    stacked: list = []
+    requested = [i for i in pending
+                 if resolve_engine_name(scenarios[i].engine) == "batch"]
+    if requested:
+        reasons: dict = {}
+        for i in requested:
+            reason = _batch_reason(scenarios[i])
+            if reason is None:
+                stacked.append(i)
+            else:
+                reasons[i] = reason
+        explicit = [i for i in requested if scenarios[i].engine == "batch"]
+        if explicit and not stacked:
+            # explicit engine="batch" with nothing to stack is a
+            # capability error, reported cleanly (env-derived selection
+            # falls back silently, like REPRO_ENGINE=fast does)
+            lines = [f"  {scenarios[i].algorithm}: {reasons[i]}"
+                     for i in explicit[:5]]
+            raise ScenarioError(
+                "engine 'batch': no scenario in this batch is eligible "
+                "for stacked execution; per-scenario reasons:\n"
+                + "\n".join(lines))
 
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunk_results = pool.map(
-                _run_chunk,
-                [([scenarios[i] for i in chunk], compute_bound)
-                 for chunk in chunks])
-            for chunk, reports in zip(chunks, chunk_results):
-                for i, report in zip(chunk, reports):
-                    results[i] = report
+    bound_root = str(store.root) if store is not None else None
+    bound_write = mode == "readwrite"
+    with _bound_io(store, mode):
+        if stacked:
+            for i, report in zip(
+                    stacked,
+                    _execute_stacked([scenarios[i] for i in stacked],
+                                     compute_bound)):
+                results[i] = report
+            rest = [i for i in pending if results[i] is None]
+        else:
+            rest = pending
+
+        if workers is None or workers <= 1 or len(rest) <= 1:
+            for i in rest:
+                results[i] = _execute(scenarios[i], compute_bound)
+        else:
+            groups: dict = {}  # (seed, instance digest) -> pending indices
+            for i in rest:
+                scenario = scenarios[i]
+                groups.setdefault(
+                    (scenario.seed, scenario.instance_digest()),
+                    []).append(i)
+            target = max(1, len(rest) // (4 * workers))
+            chunks, current = [], []
+            for indices in groups.values():
+                current.extend(indices)
+                if len(current) >= target:
+                    chunks.append(current)
+                    current = []
+            if current:
+                chunks.append(current)
+
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                chunk_results = pool.map(
+                    _run_chunk,
+                    [([scenarios[i] for i in chunk], compute_bound,
+                      bound_root, bound_write)
+                     for chunk in chunks])
+                for chunk, reports in zip(chunks, chunk_results):
+                    for i, report in zip(chunk, reports):
+                        results[i] = report
 
     for first, copies in duplicates.items():
         for i in copies:

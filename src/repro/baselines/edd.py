@@ -44,7 +44,15 @@ class EarliestDeadlinePolicy(Policy):
     identical decision -- the ABI contract of
     :mod:`repro.network.engine`, fuzz-enforced by
     ``tests/test_differential.py``.
+
+    ``batch_program`` opts the native vector path into the stacked batch
+    engine: the decision is *group-local* (``greedy_masks`` ranks within
+    (node, axis) groups only, from per-row keys), so stacking scenarios
+    cannot change it -- any two instances with this label decide
+    identically on identical rows.
     """
+
+    batch_program = "edd"
 
     def decide(self, node, t, candidates, network: Network) -> Decision:
         B, c = network.buffer_size, network.capacity
@@ -104,6 +112,8 @@ def run_edd(network: Network, requests, horizon: int,
     "contention (custom vector-ABI policy; adapter=true forces the "
     "scalar batched-adapter path on the fast engine)",
     fast_engine="vector",
+    batch_policy=lambda adapter=False: (
+        None if adapter else EarliestDeadlinePolicy()),
 )
 def _edd_scenario(network, requests, horizon, *, rng=None, engine=None,
                   adapter: bool = False):

@@ -90,6 +90,7 @@ def run_greedy(network: Network, requests, horizon: int,
     description="work-conserving greedy forwarding ([AKOR03]); "
     "'priority' picks the contention order (fifo/lifo/longest)",
     fast_engine="vector",
+    batch_policy=lambda priority="fifo": GreedyPolicy(priority),
 )
 def _greedy_scenario(network, requests, horizon, *, rng=None, engine=None,
                      priority: str = "fifo"):

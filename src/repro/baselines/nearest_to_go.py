@@ -65,6 +65,7 @@ def run_nearest_to_go(network: Network, requests, horizon: int,
     description="nearest-to-go: fewest remaining hops win contention "
     "([AKOR03], [AKK09]); optimal on bufferless lines (Prop. 12)",
     fast_engine="vector",
+    batch_policy=lambda: NearestToGoPolicy(),
 )
 def _ntg_scenario(network, requests, horizon, *, rng=None, engine=None):
     return run_nearest_to_go(network, requests, horizon, engine=engine)

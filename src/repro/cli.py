@@ -447,8 +447,8 @@ def cmd_list(args) -> int:
     from repro.api import TOPOLOGIES
 
     print(format_table(
-        ["algorithm", "fast engine", "description"],
-        [[e.name, e.fast_engine, e.description]
+        ["algorithm", "fast engine", "batch", "description"],
+        [[e.name, e.fast_engine, e.batch_engine, e.description]
          for e in ALGORITHMS.entries()],
         title="registered algorithms",
     ))
@@ -495,8 +495,10 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     engine_kwargs = dict(
-        choices=("reference", "fast"), default=None,
-        help="simulation engine (default: REPRO_ENGINE env var or reference)",
+        choices=("reference", "fast", "batch"), default=None,
+        help="simulation engine (default: REPRO_ENGINE env var or "
+        "reference); 'batch' stacks eligible sweep scenarios into one "
+        "array program and falls back per-scenario otherwise",
     )
     cache_kwargs = dict(
         choices=("off", "read", "readwrite"), default=None,

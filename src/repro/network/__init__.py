@@ -24,7 +24,9 @@ from repro.network.topology import GridNetwork, LineNetwork, Network
 from repro.network.simulator import SimulationResult, Simulator, execute_plan
 from repro.network.stats import NetworkStats
 from repro.network.fast_engine import FastEngine
+from repro.network.fast_batch_engine import FastBatchEngine
 from repro.network.engine import (
+    BatchEngine,
     Engine,
     get_default_engine,
     make_engine,
@@ -33,8 +35,10 @@ from repro.network.engine import (
 )
 
 __all__ = [
+    "BatchEngine",
     "DeliveryStatus",
     "Engine",
+    "FastBatchEngine",
     "FastEngine",
     "GridNetwork",
     "LineNetwork",

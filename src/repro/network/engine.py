@@ -12,6 +12,15 @@ policy.  Two implementations ship:
   numpy group-by engine, at a fraction of the wall-clock.  Use it for
   sweeps and large instances.
 
+A third *name*, ``"batch"``, selects the stacked batch path: eligible
+scenarios of one ``run_batch`` call are packed into a single array
+program and executed together by
+:class:`~repro.network.fast_batch_engine.FastBatchEngine` (the
+:class:`BatchEngine` protocol below).  For a single run the name
+degrades to ``"fast"`` -- a stack of one is just the fast engine -- and
+scenarios no batch program can express fall back per-scenario, exactly
+like ``"fast"`` falls back to the reference engine.
+
 Resolution order for the engine name: an explicit argument, then the
 ``REPRO_ENGINE`` environment variable, then the module default set by
 :func:`set_default_engine` (initially ``"reference"``).  The environment
@@ -80,7 +89,7 @@ from repro.util.errors import ValidationError
 ENGINE_ENV_VAR = "REPRO_ENGINE"
 
 #: the valid engine names (implementations resolve lazily in make_engine)
-ENGINE_NAMES = ("reference", "fast")
+ENGINE_NAMES = ("reference", "fast", "batch")
 
 _default_engine = "reference"
 
@@ -93,6 +102,23 @@ class Engine(Protocol):
 
     def run(self, requests, horizon: int) -> SimulationResult:
         """Simulate ``requests`` for time steps ``0..horizon`` inclusive."""
+        ...
+
+
+class BatchEngine(Protocol):
+    """A stacked engine: many (network, policy, requests, horizon) jobs
+    resolved together as one array program.
+
+    ``run_many`` returns one :class:`SimulationResult` per job, each
+    bit-identical to what the per-scenario engines would produce for that
+    job alone -- the invariant that lets ``run_batch`` group eligible
+    scenarios freely.  Jobs a batch program cannot express must be
+    rejected at construction time (clean
+    :class:`~repro.util.errors.ValidationError`, not a wrong result);
+    callers pre-filter with the implementation's ``supports`` predicate.
+    """
+
+    def run_many(self) -> list:
         ...
 
 
@@ -121,6 +147,11 @@ class StepView:
     arrival: np.ndarray  # injection times
     deadline: np.ndarray  # deadlines, ``NO_DEADLINE`` when unbounded
     rid: np.ndarray  # unique request ids (the universal tie-break)
+    #: scenario id per row in stacked batch execution (None on the
+    #: per-scenario engines).  Batched views keep ``node_id`` globally
+    #: unique across scenarios, so group-local policies need not read
+    #: this; it exists for policies that want per-scenario context.
+    batch: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -182,7 +213,7 @@ def get_default_engine() -> str:
 
 
 def set_default_engine(name: str) -> None:
-    """Set the process-wide default engine (``"reference"`` or ``"fast"``)."""
+    """Set the process-wide default engine (any :data:`ENGINE_NAMES`)."""
     global _default_engine
     _default_engine = _check_name(name)
 
@@ -213,6 +244,9 @@ def make_engine(network, policy, engine: str | None = None,
     from repro.network.simulator import Simulator
 
     name = resolve_engine_name(engine)
+    if name == "batch":
+        # stacking happens in run_batch; a single run degrades to "fast"
+        name = "fast"
     if getattr(policy, "node_model", 1) == 2:
         from repro.network.node_models import (
             FastModel2Engine,

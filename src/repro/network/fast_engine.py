@@ -83,11 +83,31 @@ def _priority_keys(name: str, arrival, rid, remaining):
 def _request_arrays(network, reqs):
     """``(src, dst, arrival, deadline, rid)`` int64 arrays for ``reqs``
     (validated against ``network``) -- the shared packet-state setup of
-    the fast engines."""
-    for r in reqs:
-        network.check_request(r)
-    src = np.array([r.source for r in reqs], dtype=np.int64)
-    dst = np.array([r.dest for r in reqs], dtype=np.int64)
+    the fast engines.
+
+    Validation is vectorized: one bounds check over the stacked
+    coordinate arrays instead of a per-request Python loop (the loop
+    dominated per-scenario setup in sweep-shaped batches).  On failure
+    the first offending request is re-checked through
+    ``network.check_request`` so the error is byte-identical to the
+    scalar path's.
+    """
+    if not len(reqs):
+        empty = np.array([], dtype=np.int64)
+        return empty, empty, empty, empty.copy(), empty.copy()
+    try:
+        src = np.array([r.source for r in reqs], dtype=np.int64)
+        dst = np.array([r.dest for r in reqs], dtype=np.int64)
+    except ValueError:  # ragged coordinates: mixed dimensionality
+        src = dst = None
+    dims = np.asarray(network.dims, dtype=np.int64)
+    if (src is None or src.ndim != 2 or src.shape[1] != network.d):
+        for r in reqs:
+            network.check_request(r)
+        raise AssertionError("check_request accepted a ragged batch")
+    ok = ((src >= 0) & (src < dims) & (dst >= 0) & (dst < dims)).all(axis=1)
+    if not ok.all():
+        network.check_request(reqs[int(np.flatnonzero(~ok)[0])])
     arrival = np.array([r.arrival for r in reqs], dtype=np.int64)
     deadline = np.array(
         [_NO_DEADLINE if r.deadline is None else r.deadline for r in reqs],
@@ -97,12 +117,14 @@ def _request_arrays(network, reqs):
     return src, dst, arrival, deadline, rid
 
 
-def _finalize_result(stats, scode, rid, delivered_t, trace):
+def _finalize_result(stats, scode, rid, delivered_t, trace, engine="fast"):
     """Resolve end-of-horizon statuses and build the result record.
 
     Anything still pending was never handled (rejected); anything still
     in flight never reached its destination (preempted) -- the shared
     epilogue of the fast engines, mirroring the reference loops.
+    ``engine`` labels the result (the stacked batch engine reuses this
+    epilogue per scenario slice).
     """
     pending = scode == _PENDING
     stats.rejected += int(pending.sum())
@@ -117,7 +139,7 @@ def _finalize_result(stats, scode, rid, delivered_t, trace):
     for i in np.flatnonzero(delivered_t >= 0):
         stats.delivery_times[int(rid[i])] = int(delivered_t[i])
     return SimulationResult(stats=stats, status=status, trace=trace,
-                            engine="fast")
+                            engine=engine)
 
 
 def _grouped_rank(gid, keys):
@@ -152,6 +174,11 @@ def greedy_masks(view: StepView, keys) -> VectorDecision:
     vector policies (see :mod:`repro.baselines.edd`) build their key
     arrays and delegate the subtle mask construction here, so the
     bit-identity-critical logic exists once.
+
+    ``view.network`` may be a per-scenario :class:`Network` (scalar
+    ``B``/``c``) or a stacked batch facade whose ``buffer_size`` and
+    ``capacity`` are *per-row* arrays -- the ranking is group-local
+    either way, so the same masks come out row for row.
     """
     B = view.network.buffer_size
     c = view.network.capacity
@@ -163,10 +190,12 @@ def greedy_masks(view: StepView, keys) -> VectorDecision:
 
     store_mask = np.zeros(view.size, dtype=bool)
     left = ~fwd_mask
-    if B > 0 and left.any():
-        lrank, _ = _grouped_rank(view.node_id[left],
-                                 tuple(k[left] for k in keys))
-        store_mask[np.flatnonzero(left)[lrank < B]] = True
+    if left.any():
+        B_left = B[left] if isinstance(B, np.ndarray) else B
+        if np.any(B_left > 0):
+            lrank, _ = _grouped_rank(view.node_id[left],
+                                     tuple(k[left] for k in keys))
+            store_mask[np.flatnonzero(left)[lrank < B_left]] = True
     return VectorDecision(forward=fwd_mask, axis=axis, store=store_mask)
 
 

@@ -10,7 +10,10 @@ stochastic workload, and the greedy/NTG/planner algorithm families --
 plus (PR 4) the Model 2 node semantics (``ntg-model2`` on the vectorized
 two-phase engine) and the custom-policy paths of the decision ABI
 (``edd`` natively, and ``edd(adapter=true)`` through the scalar
-batched-adapter lift).
+batched-adapter lift), plus (PR 6) the stacked batch engine:
+heterogeneous ``engine="batch"`` batches -- mixed sizes, horizons,
+policies, duplicates -- must match the serial per-scenario reference
+runs, with identical cache accounting.
 
 A failure here means the cache would serve wrong results -- fix the
 engine divergence before touching the cache.
@@ -33,6 +36,7 @@ from repro.api import (
     run_batch,
     unavailable_reason,
 )
+from repro.api.run import _batch_reason
 
 #: measured RunReport fields that must agree bit-for-bit
 MEASURES = ("requests", "throughput", "bound", "late", "rejected",
@@ -216,6 +220,72 @@ def test_model2_and_abi_workers_bit_identical(batch):
     pooled = run_batch(batch, workers=4)
     for one, many in zip(serial, pooled):
         assert_reports_identical(one, many, "serial vs pooled (model2/ABI)")
+
+
+@st.composite
+def batch_heterogeneous(draw):
+    """Batches dense in the stacked-engine seams (PR 6): mixed grid sizes
+    and horizons, batch-eligible policies (greedy priorities, ntg, native
+    edd) interleaved with ineligible ones (planners, the edd adapter
+    path), every scenario requesting ``engine="batch"``, plus injected
+    duplicates -- so one batch exercises stacking, per-scenario fallback,
+    and duplicate collapse together.  At least one scenario is guaranteed
+    batch-eligible (an all-ineligible explicit batch is the clean-error
+    path, pinned separately in ``tests/test_fast_batch_engine.py``)."""
+    batch = draw(st.lists(scenarios(), min_size=1, max_size=5))
+    anchor = draw(scenarios())
+    anchor = anchor.replace(algorithm=draw(st.sampled_from((
+        {"name": "greedy", "params": {"priority": "fifo"}},
+        {"name": "ntg", "params": {}},
+        {"name": "edd", "params": {"adapter": False}},
+    ))))
+    batch.insert(draw(st.integers(0, len(batch))), anchor)
+    batch = [s.replace(engine="batch") for s in batch]
+    extra = draw(st.lists(st.integers(0, len(batch) - 1), max_size=2))
+    batch += [batch[i] for i in extra]
+    return batch
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(batch_heterogeneous())
+def test_batch_engine_bit_identical(batch):
+    """run_batch of an engine="batch" batch -- stacked eligible subset,
+    per-scenario fallback for the rest -- matches the serial per-scenario
+    reference runs bit-for-bit, including meta."""
+    batch = [s for s in batch if runnable(s)]
+    hypothesis.assume(len(batch) >= 2)
+    hypothesis.assume(any(_batch_reason(s) is None for s in batch))
+    stacked = run_batch(batch, workers=1)
+    for scenario, report in zip(batch, stacked):
+        solo = run(scenario.replace(engine="reference"))
+        assert_reports_identical(solo, report, "serial reference vs batch")
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(batch=batch_heterogeneous())
+def test_batch_engine_cache_stats_identical(batch, tmp_path_factory):
+    """With the cache on, a batch-engine run and a plain run produce the
+    same accounting: one lookup per position, one store per unique
+    scenario -- stacking must not change what is cached or counted."""
+    batch = [s for s in batch if runnable(s)]
+    hypothesis.assume(len(batch) >= 2)
+    hypothesis.assume(any(_batch_reason(s) is None for s in batch))
+    plain = [s.replace(engine=None) for s in batch]
+    d1 = tmp_path_factory.mktemp("batch-cache")
+    d2 = tmp_path_factory.mktemp("plain-cache")
+    stacked = run_batch(batch, cache="readwrite", cache_dir=d1)
+    serial = run_batch(plain, cache="readwrite", cache_dir=d2)
+    assert vars(stacked.cache_stats) == vars(serial.cache_stats)
+    # and the stacked run's entries replay for the *other* engine choice
+    # (digests exclude the engine): a warmed cache is warmed for everyone
+    replay = run_batch(plain, cache="read", cache_dir=d1)
+    assert replay.cache_stats.hits == len(batch)
+    for a, b in zip(replay, serial):
+        assert_reports_identical(a, b, "cross-engine cache replay")
 
 
 @settings(max_examples=15, deadline=None,
