@@ -31,7 +31,14 @@ the multi-host switches of :mod:`repro.api.dispatch`:
 * ``REPRO_SHARD_INDEX=i`` (with ``REPRO_SHARDS``) runs *only* shard
   ``i`` and skips the bench's table -- the partial-run mode for spreading
   one bench across hosts; merge the emitted files with
-  ``python -m repro merge``.
+  ``python -m repro merge``;
+* ``REPRO_QUEUE=N`` routes the batch through the elastic queue service
+  instead (:mod:`repro.api.queue`): enqueue chunks under
+  ``benchmarks/_output/queue/``, pull-execute them with ``N``
+  ``repro work`` subprocesses, and collect the (bit-identical) batch
+  result.  Takes precedence over ``REPRO_SHARDS``.  Exercises the
+  whole lease/heartbeat/collect path in-tree; share ``REPRO_CACHE``
+  for warmed replays exactly as with shards.
 
 Timing-dependent tables (the ``ENGINE_*`` outputs of ``bench_engine``)
 are cache-exempt by design and excluded from byte-identity checks.
@@ -61,6 +68,9 @@ def dispatch_batch(scenarios, workers=None, name=None):
     """
     from repro.api import run_batch
 
+    n_queue = int(os.environ.get("REPRO_QUEUE", "0") or 0)
+    if n_queue >= 1:
+        return _queue_batch(scenarios, n_queue, name=name)
     n_shards = int(os.environ.get("REPRO_SHARDS", "0") or 0)
     if n_shards <= 1:
         return run_batch(scenarios, workers=workers)
@@ -87,6 +97,55 @@ def dispatch_batch(scenarios, workers=None, name=None):
         run_shard(manifest, path, workers=workers)
         files.append(path)
     return merge(files)
+
+
+def _queue_batch(scenarios, n_workers: int, name=None):
+    """Run a batch through the queue service with subprocess workers.
+
+    Enqueues into a fresh per-batch directory, launches ``n_workers``
+    ``python -m repro work`` subprocesses against it, and collects.  A
+    ``REPRO_QUEUE_CRASH_AFTER`` value in the environment is *consumed
+    here* and applied to the first worker only (the chaos switch: that
+    worker dies mid-chunk and the survivors finish via requeue) -- it is
+    popped from the child environments so the rescuing workers do not
+    crash too.
+    """
+    import subprocess
+    import sys
+
+    from repro.api.dispatch import batch_digest
+    from repro.api.queue import WorkQueue
+
+    tag = name or batch_digest(scenarios)
+    root = OUTPUT_DIR / "queue" / tag
+    if root.exists():
+        import shutil
+
+        shutil.rmtree(root)
+    queue = WorkQueue.create(root, scenarios)
+    env = {k: v for k, v in os.environ.items()
+           if k != "REPRO_QUEUE_CRASH_AFTER"}
+    crash_after = os.environ.get("REPRO_QUEUE_CRASH_AFTER")
+    procs = []
+    for i in range(n_workers):
+        worker_env = dict(env)
+        if i == 0 and crash_after is not None:
+            worker_env["REPRO_QUEUE_CRASH_AFTER"] = crash_after
+        procs.append(subprocess.Popen(
+            [sys.executable, "-m", "repro", "work", str(root),
+             "--worker-id", f"bench-{tag}-{i}", "--ttl", "5",
+             "--poll", "0.2"],
+            env=worker_env, stdout=subprocess.DEVNULL))
+    for proc in procs:
+        proc.wait()
+    result = queue.collect()
+    # fold the workers' (subprocess-side) cache accounting into this
+    # process's session totals so the terminal summary stays truthful
+    from repro.api.cache import GLOBAL_STATS
+
+    if result.cache_stats is not None:
+        GLOBAL_STATS.add(result.cache_stats)
+    return result
 
 
 def trim(seq, keep: int = 2) -> tuple:

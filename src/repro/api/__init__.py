@@ -79,6 +79,8 @@ from repro.api.dispatch import (
     run_shard,
     write_manifest,
 )
+from repro.api.queue import QueueError, QueueStatus, WorkQueue
+from repro.api.service import QueueWorker, WorkerCrash
 from repro.api.spec import AlgorithmSpec, NetworkSpec, Scenario, WorkloadSpec
 from repro.api.run import (
     BatchResult,
@@ -97,9 +99,14 @@ __all__ = [
     "CacheStats",
     "ResultCache",
     "NetworkSpec",
+    "QueueError",
+    "QueueStatus",
+    "QueueWorker",
     "Registry",
     "RegistryEntry",
     "RunReport",
+    "WorkQueue",
+    "WorkerCrash",
     "Scenario",
     "ScenarioError",
     "ShardError",

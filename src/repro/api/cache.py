@@ -69,18 +69,32 @@ ENV_DIR = "REPRO_CACHE"
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation accounting for one batch (or one process)."""
+    """Hit/miss/invalidation accounting for one batch (or one process).
+
+    ``hits``/``misses``/``stores``/``invalid`` account *report* replays;
+    ``bound_hits``/``bound_misses`` account the offline-bound tier (one
+    event per executed scenario that needed a bound: served from the
+    call-scoped memo or the on-disk ``bound_*.json`` entries vs computed
+    from scratch).  Bound events are deterministic for a given batch and
+    cache state -- see :func:`repro.api.run._instance_bound` -- which is
+    what lets the dispatch/queue layers assert that any execution history
+    aggregates to the serial totals.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalid: int = 0  # corrupted / legacy-schema / colliding entries seen
+    bound_hits: int = 0  # offline bounds served from memo/disk
+    bound_misses: int = 0  # offline bounds computed (max-flow ran)
 
     def add(self, other: "CacheStats") -> None:
         self.hits += other.hits
         self.misses += other.misses
         self.stores += other.stores
         self.invalid += other.invalid
+        self.bound_hits += other.bound_hits
+        self.bound_misses += other.bound_misses
 
     @property
     def lookups(self) -> int:
@@ -94,6 +108,7 @@ class CacheStats:
         return (
             f"cache: hits={self.hits} misses={self.misses} "
             f"stores={self.stores} invalid={self.invalid} "
+            f"bound_hits={self.bound_hits} bound_misses={self.bound_misses} "
             f"hit_rate={self.hit_rate:.1%}"
         )
 
@@ -207,7 +222,10 @@ class ResultCache:
         The entry is algorithm-independent: any scenario sharing the
         ``(seed, instance)`` pair hits it.  A digest collision, schema
         mismatch, or non-finite value degrades to ``None`` (recompute),
-        never to a wrong bound.  Not counted in :attr:`stats`.
+        never to a wrong bound.  Counted in :attr:`stats` as
+        ``bound_hits``/``bound_misses`` (the tier the queue's ``status``
+        metrics surface); :func:`repro.api.run._instance_bound` is the
+        single caller and guarantees one event per executed scenario.
         """
         import math
 
@@ -215,19 +233,21 @@ class ResultCache:
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.stats.bound_misses += 1
             return None
-        if not isinstance(payload, dict) \
-                or payload.get("schema") != SCHEMA_VERSION:
-            return None
-        # collision guard: compare the full instance key through a JSON
-        # round-trip (tuples become lists on disk)
-        expected = json.loads(json.dumps(
-            [scenario.seed, scenario.instance_key()]))
-        if payload.get("instance") != expected:
-            return None
-        bound = payload.get("bound")
+        bound = None
+        if isinstance(payload, dict) \
+                and payload.get("schema") == SCHEMA_VERSION:
+            # collision guard: compare the full instance key through a JSON
+            # round-trip (tuples become lists on disk)
+            expected = json.loads(json.dumps(
+                [scenario.seed, scenario.instance_key()]))
+            if payload.get("instance") == expected:
+                bound = payload.get("bound")
         if not isinstance(bound, (int, float)) or not math.isfinite(bound):
+            self.stats.bound_misses += 1
             return None
+        self.stats.bound_hits += 1
         return float(bound)
 
     def store_bound(self, scenario, bound: float) -> None:
@@ -248,8 +268,7 @@ class ResultCache:
     def flush_stats(self) -> CacheStats:
         """Fold this instance's counters into :data:`GLOBAL_STATS` and
         return a snapshot (run/run_batch call this once per batch)."""
-        snapshot = CacheStats(self.stats.hits, self.stats.misses,
-                              self.stats.stores, self.stats.invalid)
+        snapshot = CacheStats(**vars(self.stats))
         GLOBAL_STATS.add(snapshot)
         self.stats = CacheStats()
         return snapshot

@@ -254,8 +254,15 @@ def write_shard_result(manifest: dict, reports, out) -> pathlib.Path:
     return path
 
 
-def _read_shard_result(path) -> tuple:
-    """Parse one result file into ``(header, {index: report}, stats)``.
+def _iter_shard_result(path):
+    """Stream one result file: yield ``("header", dict)`` once, then one
+    ``("report", index, report)`` per body line, then ``("footer", stats)``.
+
+    Memory-bounded by construction: lines are read one at a time from the
+    open file and parsed records are yielded (and dropped) immediately --
+    the raw text and the parsed JSON of a many-chunk result set never
+    coexist in memory, which is what lets :func:`merge` (and the queue's
+    ``collect``) scale with the number of *reports*, not with file sizes.
 
     Fails loudly on anything short of a complete, well-formed shard:
     a missing footer (the crash signature of a truncated write), a
@@ -264,72 +271,143 @@ def _read_shard_result(path) -> tuple:
     """
     label = str(path)
     try:
-        text = pathlib.Path(path).read_text()
+        handle = open(path, "r")
     except OSError as exc:
         raise ShardError(f"cannot read shard result {label}: {exc}") from None
-    lines = [line for line in text.splitlines() if line.strip()]
-    if not lines:
-        raise ShardError(f"{label} is empty, not a shard result file")
-    try:
-        records = [json.loads(line) for line in lines]
-    except json.JSONDecodeError as exc:
-        raise ShardError(
-            f"{label} is truncated or corrupted (bad JSONL line: {exc}); "
-            "rerun the shard to regenerate it") from None
-    header = records[0]
-    if not isinstance(header, dict) or header.get("kind") != RESULT_KIND:
-        raise ShardError(f"{label} is not a shard result file (expected a "
-                         f"kind={RESULT_KIND!r} header)")
-    if header.get("schema") != SHARD_SCHEMA:
-        raise ShardError(
-            f"{label} uses shard schema {header.get('schema')!r}; this "
-            f"version reads schema {SHARD_SCHEMA}")
-    if records[-1].get("kind") != FOOTER_KIND:
-        raise ShardError(
-            f"{label} has no footer -- the shard run was interrupted "
-            "mid-write; rerun the shard (cache-backed, so completed "
-            "scenarios replay for free)")
-    footer = records[-1]
-    body = records[1:-1]
-    declared = header.get("indices", [])
-    if footer.get("reports") != len(body) or len(body) != len(declared):
-        raise ShardError(
-            f"{label} holds {len(body)} report(s) but declares "
-            f"{len(declared)} -- truncated shard; rerun it")
+    with handle:
+        header = None
+        footer = None
+        declared_set: set = set()
+        n_declared = 0
+        n_reports = 0
+        for line in handle:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ShardError(
+                    f"{label} is truncated or corrupted (bad JSONL line: "
+                    f"{exc}); rerun the shard to regenerate it") from None
+            if footer is not None:
+                raise ShardError(
+                    f"{label} has data after its footer -- corrupted "
+                    "result file; rerun the shard to regenerate it")
+            if header is None:
+                header = record
+                if not isinstance(header, dict) \
+                        or header.get("kind") != RESULT_KIND:
+                    raise ShardError(
+                        f"{label} is not a shard result file (expected a "
+                        f"kind={RESULT_KIND!r} header)")
+                if header.get("schema") != SHARD_SCHEMA:
+                    raise ShardError(
+                        f"{label} uses shard schema {header.get('schema')!r};"
+                        f" this version reads schema {SHARD_SCHEMA}")
+                declared = header.get("indices", [])
+                declared_set = set(declared)
+                n_declared = len(declared)
+                yield "header", header
+                continue
+            if isinstance(record, dict) and record.get("kind") == FOOTER_KIND:
+                footer = record
+                continue
+            report = RunReport.from_dict(record["report"])
+            if f"{report.scenario.digest():08x}" != record["digest"]:
+                raise ShardError(
+                    f"{label}: report digest {record['digest']} does not "
+                    f"match its scenario ({report.scenario.digest():08x}) -- "
+                    "corrupted result file")
+            index = record["index"]
+            if index not in declared_set:
+                raise ShardError(
+                    f"{label}: unexpected or repeated batch position {index}")
+            declared_set.discard(index)
+            n_reports += 1
+            yield "report", index, report
+        if header is None:
+            raise ShardError(f"{label} is empty, not a shard result file")
+        if footer is None:
+            raise ShardError(
+                f"{label} has no footer -- the shard run was interrupted "
+                "mid-write; rerun the shard (cache-backed, so completed "
+                "scenarios replay for free)")
+        if footer.get("reports") != n_reports or n_reports != n_declared:
+            raise ShardError(
+                f"{label} holds {n_reports} report(s) but declares "
+                f"{n_declared} -- truncated shard; rerun it")
+        stats = footer.get("cache_stats")
+        if stats is not None:
+            stats = CacheStats(**stats)
+        yield "footer", stats
+
+
+def _read_shard_result(path) -> tuple:
+    """Parse one result file into ``(header, {index: report}, stats)``.
+
+    Convenience wrapper over the streaming :func:`_iter_shard_result`
+    (which :func:`merge` consumes directly to stay memory-bounded).
+    """
+    header = None
     reports: dict = {}
-    declared_set = set(declared)
-    for record in body:
-        report = RunReport.from_dict(record["report"])
-        if f"{report.scenario.digest():08x}" != record["digest"]:
-            raise ShardError(
-                f"{label}: report digest {record['digest']} does not match "
-                f"its scenario ({report.scenario.digest():08x}) -- corrupted "
-                "result file")
-        index = record["index"]
-        if index in reports or index not in declared_set:
-            raise ShardError(
-                f"{label}: unexpected or repeated batch position {index}")
-        reports[index] = report
-    stats = footer.get("cache_stats")
-    if stats is not None:
-        stats = CacheStats(**stats)
+    stats = None
+    for item in _iter_shard_result(path):
+        if item[0] == "header":
+            header = item[1]
+        elif item[0] == "report":
+            reports[item[1]] = item[2]
+        else:
+            stats = item[1]
     return header, reports, stats
+
+
+def _expand_result_files(result_files) -> list:
+    """Normalize merge input: paths and/or directories -> result files.
+
+    A directory stands for every ``*.jsonl`` file directly inside it, in
+    sorted-name order (deterministic on any host); a directory holding no
+    result files is a loud :class:`ShardError`, not an empty merge.  A
+    single path (string or ``Path``) is accepted in place of a list.
+    """
+    if isinstance(result_files, (str, os.PathLike)):
+        result_files = [result_files]
+    paths: list = []
+    for item in result_files:
+        path = pathlib.Path(item)
+        if path.is_dir():
+            found = sorted(p for p in path.iterdir()
+                           if p.is_file() and p.suffix == ".jsonl")
+            if not found:
+                raise ShardError(
+                    f"directory {path} holds no .jsonl shard result files")
+            paths.extend(found)
+        else:
+            paths.append(path)
+    return paths
 
 
 def merge(result_files) -> BatchResult:
     """Reassemble shard result files into the original batch order.
+
+    ``result_files`` is a list of result files and/or directories (a
+    directory stands for every ``*.jsonl`` file directly inside it --
+    the natural form for a queue's ``results/`` directory or a
+    collected-from-hosts dropbox), or a single such path.
 
     The output is the :class:`BatchResult` the serial ``run_batch`` of
     the whole batch would have returned (``tests/test_dispatch.py``
     proves bit-identity), with ``cache_stats`` aggregated across shards
     (``None`` when no shard ran with the cache on).  Merge order does
     not matter: reports are keyed by their recorded batch position.
+    Each file is *streamed* (see :func:`_iter_shard_result`): peak
+    memory is one report plus the merged output, independent of how the
+    batch was chunked.
 
     Raises :class:`ShardError` when the files do not form exactly one
     complete batch: a shard from a different batch ("foreign"), the same
     shard twice, a missing shard, or a truncated/corrupted file.
     """
-    paths = list(result_files)
+    paths = _expand_result_files(result_files)
     if not paths:
         raise ShardError("merge needs at least one shard result file")
     batch = None
@@ -339,37 +417,44 @@ def merge(result_files) -> BatchResult:
     reports: dict = {}
     totals: CacheStats | None = None
     for path in paths:
-        header, shard_reports, stats = _read_shard_result(path)
-        if batch is None:
-            batch, batch_size = header["batch_digest"], header["batch_size"]
-            n_shards = header["n_shards"]
-        elif header["batch_digest"] != batch:
-            raise ShardError(
-                f"{path} belongs to batch {header['batch_digest']}, not "
-                f"{batch} -- refusing to merge foreign shards")
-        elif header["batch_size"] != batch_size \
-                or header["n_shards"] != n_shards:
-            raise ShardError(
-                f"{path} comes from a different plan "
-                f"(batch_size={header['batch_size']}, "
-                f"n_shards={header['n_shards']}; expected {batch_size} and "
-                f"{n_shards})")
-        key = header["shard_index"]
-        if key in seen_shards:
-            raise ShardError(
-                f"shard {key}/{n_shards} appears twice: "
-                f"{seen_shards[key]} and {path}")
-        seen_shards[key] = path
-        for index, report in shard_reports.items():
-            if index in reports:
-                raise ShardError(
-                    f"batch position {index} is reported by more than one "
-                    f"shard file (second: {path})")
-            reports[index] = report
-        if stats is not None:
-            if totals is None:
-                totals = CacheStats()
-            totals.add(stats)
+        header = None
+        for item in _iter_shard_result(path):
+            if item[0] == "header":
+                header = item[1]
+                if batch is None:
+                    batch = header["batch_digest"]
+                    batch_size = header["batch_size"]
+                    n_shards = header["n_shards"]
+                elif header["batch_digest"] != batch:
+                    raise ShardError(
+                        f"{path} belongs to batch {header['batch_digest']}, "
+                        f"not {batch} -- refusing to merge foreign shards")
+                elif header["batch_size"] != batch_size \
+                        or header["n_shards"] != n_shards:
+                    raise ShardError(
+                        f"{path} comes from a different plan "
+                        f"(batch_size={header['batch_size']}, "
+                        f"n_shards={header['n_shards']}; expected "
+                        f"{batch_size} and {n_shards})")
+                key = header["shard_index"]
+                if key in seen_shards:
+                    raise ShardError(
+                        f"shard {key}/{n_shards} appears twice: "
+                        f"{seen_shards[key]} and {path}")
+                seen_shards[key] = path
+            elif item[0] == "report":
+                index, report = item[1], item[2]
+                if index in reports:
+                    raise ShardError(
+                        f"batch position {index} is reported by more than "
+                        f"one shard file (second: {path})")
+                reports[index] = report
+            else:
+                stats = item[1]
+                if stats is not None:
+                    if totals is None:
+                        totals = CacheStats()
+                    totals.add(stats)
     missing = sorted(set(range(batch_size)) - set(reports))
     if missing:
         raise ShardError(

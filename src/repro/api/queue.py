@@ -1,0 +1,477 @@
+"""Elastic sweep service: a filesystem-backed pull queue with leases.
+
+:mod:`repro.api.dispatch` plans shards *ahead of time*; a straggler host
+or a mid-run crash parks its whole shard until a human reruns it.  This
+module is the elastic layer above the same primitives: a batch is
+enqueued once as digest-ordered scenario **chunks** (each chunk is
+literally a PR 5 shard manifest, so every downstream format is shared),
+and any number of workers -- started at any time, on any host sharing
+the queue directory -- *pull* chunks, execute them via ``run_batch``,
+and append merge-compatible JSONL results.  Dead workers lose their
+lease and their chunks are requeued automatically; the sweep finishes as
+long as one worker survives.
+
+Layout (everything under one queue directory)::
+
+    queue.json          immutable batch header (digest, size, chunking)
+    pending/chunk_*.json    chunk manifests awaiting a worker
+    claimed/chunk_*.json    manifests owned by a worker (claim = rename)
+    leases/chunk_*.json     liveness: worker id + heartbeat timestamp
+    results/chunk_*.jsonl   completed chunks (shard-result JSONL)
+
+The claim protocol is a single ``os.rename(pending/X, claimed/X)``:
+atomic on POSIX, so exactly one of any number of racing workers owns the
+chunk and the losers see ``FileNotFoundError`` and move on.  The owner
+then writes a lease file and rewrites it on a heartbeat cadence; any
+process (typically an idle worker) may call :meth:`WorkQueue.
+requeue_expired`, which renames chunks whose lease heartbeat is older
+than the TTL back into ``pending/``.  Completion is one atomic
+``os.replace`` of the result file followed by removing the claim and
+lease markers -- a crash at *any* point leaves either no result (the
+chunk is requeued and rerun) or a complete one (the chunk is done).
+
+Why duplicated execution is safe -- the invariant this service inherits
+from PR 5 and ``tests/test_queue.py`` chaos-fuzzes: scenario reports are
+pure functions of the scenario (bit-identical engines, self-seeded
+randomness), so a false lease expiry (slow worker, not dead) at worst
+runs a chunk twice and the last atomic result write wins with
+equivalent content.  **Any execution history -- any worker count, any
+crash/requeue interleaving -- merges bit-identical to the serial
+``run_batch``.**  With a shared ``REPRO_CACHE`` the rerun of a
+half-finished chunk replays its completed scenarios as cache hits, so
+crashes cost at most one chunk's partial work.
+
+Liveness caveat (deliberate): a chunk that *deterministically* raises
+(e.g. every scenario explicitly pinned to an engine that rejects it)
+will fail on every worker that pulls it and bounce back to ``pending``
+forever -- the queue never converts an error into a silent skip.
+``enqueue``'s capability pre-check (mirroring ``sweep --shards``) is
+the place broken scenarios are meant to be caught.
+
+Command-line wiring: ``repro enqueue`` / ``repro work`` / ``repro
+status`` / ``repro collect``; the multi-host recipe lives in
+``benchmarks/README.md`` next to the static shard recipe.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import socket
+import time
+from dataclasses import dataclass, field
+
+from repro.api.cache import CacheStats
+from repro.api.dispatch import (
+    MANIFEST_KIND,
+    SHARD_SCHEMA,
+    load_manifest,
+    plan_shards,
+    write_manifest,
+    write_shard_result,
+)
+from repro.api.run import BatchResult
+from repro.util.errors import ValidationError
+
+QUEUE_KIND = "repro-queue"
+LEASE_KIND = "repro-queue-lease"
+
+#: default lease TTL (seconds without a heartbeat before a chunk is
+#: considered abandoned) and the matching heartbeat cadence divisor
+DEFAULT_TTL = 60.0
+
+#: default scenarios per chunk -- small enough that a crash loses little
+#: and stragglers rebalance, large enough to amortize per-chunk overhead
+DEFAULT_CHUNK_SIZE = 8
+
+
+class QueueError(ValidationError):
+    """A queue directory is malformed, incomplete, or already in use."""
+
+
+def _chunk_name(index: int) -> str:
+    return f"chunk_{index:05d}"
+
+
+@dataclass
+class QueueStatus:
+    """Live snapshot of a queue: progress, leases, and cache accounting.
+
+    ``chunks_active``/``chunks_expired`` split the claimed chunks by
+    lease freshness against the given TTL; ``cache_stats`` aggregates
+    the footers of every completed chunk (report hits/misses *and* the
+    offline-bound tier), so ``repro status`` shows how much of the
+    remaining work is real computation versus replay.
+    """
+
+    batch_digest: str
+    batch_size: int
+    n_chunks: int
+    chunks_pending: int = 0
+    chunks_active: int = 0
+    chunks_expired: int = 0
+    chunks_done: int = 0
+    scenarios_done: int = 0
+    workers: list = field(default_factory=list)  # (worker, chunk, hb age s)
+    cache_stats: CacheStats | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.chunks_done == self.n_chunks
+
+    def lines(self) -> list:
+        """Stable, grep-friendly status lines (CI asserts on them)."""
+        out = [
+            f"batch {self.batch_digest}: {self.batch_size} scenario(s) in "
+            f"{self.n_chunks} chunk(s)",
+            f"chunks: total={self.n_chunks} pending={self.chunks_pending} "
+            f"leased={self.chunks_active} expired={self.chunks_expired} "
+            f"done={self.chunks_done}",
+            f"scenarios: done={self.scenarios_done}/{self.batch_size}",
+        ]
+        for worker, chunk, age in self.workers:
+            out.append(f"lease: {chunk} held by {worker} "
+                       f"(heartbeat {age:.1f}s ago)")
+        if self.cache_stats is not None:
+            out.append(self.cache_stats.summary())
+        return out
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class WorkQueue:
+    """One queue directory; every method is safe to call from any number
+    of processes/hosts sharing the directory (atomicity via rename)."""
+
+    def __init__(self, root):
+        self.root = pathlib.Path(root)
+        self.pending_dir = self.root / "pending"
+        self.claimed_dir = self.root / "claimed"
+        self.leases_dir = self.root / "leases"
+        self.results_dir = self.root / "results"
+        self._header: dict | None = None
+
+    # -- creation and loading --------------------------------------------
+
+    @classmethod
+    def create(cls, root, scenarios, *, chunk_size: int = DEFAULT_CHUNK_SIZE,
+               clock=time.time) -> "WorkQueue":
+        """Enqueue a batch: plan digest-ordered chunks and populate the
+        queue directory.
+
+        Chunks come from :func:`repro.api.dispatch.plan_shards` with
+        ``n_shards = ceil(len(scenarios) / chunk_size)`` -- so chunk
+        manifests *are* shard manifests, chunk results *are* shard result
+        files, and ``collect`` is a plain :func:`~repro.api.dispatch.
+        merge` over the results directory.  Duplicate scenarios are
+        rejected exactly like ``plan_shards`` does (``run_batch``
+        deduplicates; deduplicate before enqueueing).
+
+        Refuses to reuse a directory that already holds a queue (finished
+        or not): requeueing is a new directory, never a silent overwrite.
+        """
+        if chunk_size < 1:
+            raise QueueError(f"chunk_size must be >= 1, got {chunk_size}")
+        queue = cls(root)
+        if queue.header_path.exists():
+            raise QueueError(
+                f"{queue.root} already holds a queue (batch "
+                f"{queue.header().get('batch_digest')}); enqueue into a "
+                "fresh directory")
+        scenarios = list(scenarios)
+        n_chunks = max(1, math.ceil(len(scenarios) / chunk_size))
+        manifests = plan_shards(scenarios, n_chunks)  # validates the batch
+        for directory in (queue.pending_dir, queue.claimed_dir,
+                          queue.leases_dir, queue.results_dir):
+            directory.mkdir(parents=True, exist_ok=True)
+        sizes = {}
+        for manifest in manifests:
+            name = _chunk_name(manifest["shard_index"])
+            sizes[name] = len(manifest["scenarios"])
+            write_manifest(manifest, queue.pending_dir / f"{name}.json")
+        header = {
+            "kind": QUEUE_KIND,
+            "schema": SHARD_SCHEMA,
+            "batch_digest": manifests[0]["batch_digest"],
+            "batch_size": len(scenarios),
+            "n_chunks": n_chunks,
+            "chunk_size": chunk_size,
+            "chunk_sizes": sizes,
+            "created_at": float(clock()),
+        }
+        # the header is written last: its presence marks a fully enqueued
+        # queue, so a crash mid-enqueue leaves a directory workers reject
+        queue._atomic_write_json(queue.header_path, header)
+        queue._header = header
+        return queue
+
+    @property
+    def header_path(self) -> pathlib.Path:
+        return self.root / "queue.json"
+
+    def header(self) -> dict:
+        """The immutable batch header (cached after the first read)."""
+        if self._header is None:
+            try:
+                header = json.loads(self.header_path.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                raise QueueError(
+                    f"{self.root} is not a work queue (cannot read "
+                    f"queue.json: {exc})") from None
+            if not isinstance(header, dict) \
+                    or header.get("kind") != QUEUE_KIND:
+                raise QueueError(
+                    f"{self.header_path} is not a queue header (expected "
+                    f"kind={QUEUE_KIND!r})")
+            if header.get("schema") != SHARD_SCHEMA:
+                raise QueueError(
+                    f"{self.root} uses queue schema "
+                    f"{header.get('schema')!r}; this version reads schema "
+                    f"{SHARD_SCHEMA}")
+            self._header = header
+        return self._header
+
+    # -- claim / heartbeat / complete ------------------------------------
+
+    def claim(self, worker: str, *, clock=time.time):
+        """Atomically claim the next pending chunk; ``None`` when empty.
+
+        The claim is one ``os.rename`` into ``claimed/`` -- of any number
+        of racing workers exactly one wins each chunk; losers skip to the
+        next.  The winner's lease is written immediately (heartbeat it
+        with :meth:`heartbeat` while executing).
+        """
+        self.header()  # reject non-queue directories before touching them
+        for path in sorted(self.pending_dir.glob("chunk_*.json")):
+            target = self.claimed_dir / path.name
+            try:
+                os.rename(path, target)
+            except FileNotFoundError:
+                continue  # another worker won this chunk
+            chunk = path.stem
+            now = float(clock())
+            self._write_lease(chunk, worker, claimed_at=now, heartbeat_at=now)
+            try:
+                return load_manifest(target)
+            except Exception:
+                # never strand a chunk behind a reader error: put it back
+                # before propagating (a corrupt manifest then fails loudly
+                # on every worker rather than vanishing)
+                os.replace(target, self.pending_dir / path.name)
+                self._remove(self.leases_dir / f"{chunk}.json")
+                raise
+        return None
+
+    def heartbeat(self, chunk: str, worker: str, *, clock=time.time) -> None:
+        """Refresh ``worker``'s lease on ``chunk`` (atomic rewrite)."""
+        lease = self._read_lease(chunk)
+        claimed_at = lease.get("claimed_at") if lease else None
+        self._write_lease(chunk, worker, claimed_at=claimed_at,
+                          heartbeat_at=float(clock()))
+
+    def complete(self, manifest: dict, reports) -> pathlib.Path:
+        """Record a finished chunk: atomic result write, then cleanup.
+
+        The result file lands with one ``os.replace`` *before* the claim
+        and lease markers are removed, so every crash window is safe: no
+        result yet means the chunk will be requeued and rerun; a result
+        present means the chunk is done and the stale markers are swept
+        by the next :meth:`requeue_expired`.  Rewriting an existing
+        result (duplicated execution after a false lease expiry) is
+        harmless by bit-identity.
+        """
+        chunk = _chunk_name(manifest["shard_index"])
+        path = write_shard_result(manifest, reports,
+                                  self.results_dir / f"{chunk}.jsonl")
+        self._remove(self.claimed_dir / f"{chunk}.json")
+        self._remove(self.leases_dir / f"{chunk}.json")
+        return path
+
+    def release(self, chunk: str) -> None:
+        """Voluntarily return a claimed chunk to ``pending`` (a worker
+        hitting an execution error calls this so the chunk is retried
+        immediately instead of idling out a full TTL)."""
+        try:
+            os.rename(self.claimed_dir / f"{chunk}.json",
+                      self.pending_dir / f"{chunk}.json")
+        except FileNotFoundError:
+            pass
+        self._remove(self.leases_dir / f"{chunk}.json")
+
+    def requeue_expired(self, ttl: float = DEFAULT_TTL, *,
+                        clock=time.time) -> list:
+        """Requeue claimed chunks whose lease heartbeat is stale.
+
+        Returns the chunk names moved back to ``pending/``.  A claimed
+        chunk whose result file already exists is *finalized* instead
+        (its owner died between the result write and the cleanup).  A
+        missing lease file (death inside the claim window, which is
+        microseconds wide) counts as expired immediately -- requeueing a
+        live worker's chunk is safe, merely wasteful (see the module
+        docstring).
+        """
+        requeued = []
+        now = float(clock())
+        for path in sorted(self.claimed_dir.glob("chunk_*.json")):
+            chunk = path.stem
+            if (self.results_dir / f"{chunk}.jsonl").exists():
+                self._remove(path)
+                self._remove(self.leases_dir / f"{chunk}.json")
+                continue
+            lease = self._read_lease(chunk)
+            if lease is not None and now - lease["heartbeat_at"] <= ttl:
+                continue
+            try:
+                os.rename(path, self.pending_dir / path.name)
+            except FileNotFoundError:
+                continue  # its owner completed or another process requeued
+            self._remove(self.leases_dir / f"{chunk}.json")
+            requeued.append(chunk)
+        return requeued
+
+    # -- progress --------------------------------------------------------
+
+    def result_path(self, chunk: str) -> pathlib.Path:
+        return self.results_dir / f"{chunk}.jsonl"
+
+    def done_chunks(self) -> list:
+        """Chunk names with a (complete-by-construction) result file."""
+        return sorted(p.stem for p in self.results_dir.glob("chunk_*.jsonl"))
+
+    def is_drained(self) -> bool:
+        """True once every chunk has a result file (writes are atomic,
+        so presence is completeness)."""
+        return len(self.done_chunks()) == self.header()["n_chunks"]
+
+    def status(self, ttl: float = DEFAULT_TTL, *,
+               clock=time.time) -> QueueStatus:
+        """Cheap live snapshot: counts directory entries and reads only
+        each result file's footer (tail line), never the report bodies."""
+        header = self.header()
+        sizes = header.get("chunk_sizes", {})
+        status = QueueStatus(
+            batch_digest=header["batch_digest"],
+            batch_size=header["batch_size"],
+            n_chunks=header["n_chunks"],
+        )
+        done = self.done_chunks()
+        status.chunks_done = len(done)
+        status.scenarios_done = sum(sizes.get(chunk, 0) for chunk in done)
+        status.chunks_pending = len(list(self.pending_dir.glob(
+            "chunk_*.json")))
+        now = float(clock())
+        for path in sorted(self.claimed_dir.glob("chunk_*.json")):
+            chunk = path.stem
+            if chunk in done:
+                continue  # finished, cleanup pending
+            lease = self._read_lease(chunk)
+            if lease is None or now - lease["heartbeat_at"] > ttl:
+                status.chunks_expired += 1
+            else:
+                status.chunks_active += 1
+                status.workers.append((lease.get("worker", "?"), chunk,
+                                       now - lease["heartbeat_at"]))
+        totals: CacheStats | None = None
+        for chunk in done:
+            stats = self._result_footer_stats(chunk)
+            if stats is not None:
+                if totals is None:
+                    totals = CacheStats()
+                totals.add(stats)
+        status.cache_stats = totals
+        return status
+
+    def collect(self) -> BatchResult:
+        """Merge the completed chunks into the batch result.
+
+        Raises :class:`QueueError` naming the unfinished chunks when the
+        queue is not drained (run more workers, or wait), and inherits
+        :class:`~repro.api.dispatch.ShardError`'s loudness for anything
+        wrong with the result files themselves.  The merge streams each
+        file (see :func:`~repro.api.dispatch.merge`).
+        """
+        from repro.api.dispatch import merge
+
+        header = self.header()
+        done = set(self.done_chunks())
+        missing = [_chunk_name(i) for i in range(header["n_chunks"])
+                   if _chunk_name(i) not in done]
+        if missing:
+            raise QueueError(
+                f"queue {self.root} is not drained: chunk(s) "
+                f"{', '.join(missing)} have no result yet (pending or "
+                "leased); run 'repro work' until 'repro status' shows "
+                "done=" + str(header["n_chunks"]))
+        return merge(self.results_dir)
+
+    # -- internals -------------------------------------------------------
+
+    def _lease_path(self, chunk: str) -> pathlib.Path:
+        return self.leases_dir / f"{chunk}.json"
+
+    def _write_lease(self, chunk: str, worker: str, *, claimed_at,
+                     heartbeat_at: float) -> None:
+        payload = {
+            "kind": LEASE_KIND,
+            "chunk": chunk,
+            "worker": worker,
+            "claimed_at": claimed_at if claimed_at is not None
+            else heartbeat_at,
+            "heartbeat_at": heartbeat_at,
+        }
+        self._atomic_write_json(self._lease_path(chunk), payload)
+
+    def _read_lease(self, chunk: str) -> dict | None:
+        """A parseable lease dict, or ``None`` (absent *or* torn: lease
+        writes are atomic, so anything unreadable is treated as no lease
+        -- the safe direction, since requeueing is always sound)."""
+        try:
+            lease = json.loads(self._lease_path(chunk).read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if not isinstance(lease, dict) \
+                or not isinstance(lease.get("heartbeat_at"), (int, float)):
+            return None
+        return lease
+
+    def _result_footer_stats(self, chunk: str) -> CacheStats | None:
+        """Parse only the footer (tail line) of one result file."""
+        try:
+            with open(self.result_path(chunk), "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                handle.seek(max(0, size - 65536))
+                tail = handle.read().decode("utf-8", "replace")
+        except OSError:
+            return None
+        lines = [line for line in tail.splitlines() if line.strip()]
+        if not lines:
+            return None
+        try:
+            footer = json.loads(lines[-1])
+        except json.JSONDecodeError:
+            return None
+        stats = footer.get("cache_stats") if isinstance(footer, dict) else None
+        if not isinstance(stats, dict):
+            return None
+        try:
+            return CacheStats(**stats)
+        except TypeError:
+            return None
+
+    @staticmethod
+    def _atomic_write_json(path: pathlib.Path, payload: dict) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+        tmp.write_text(json.dumps(payload, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    def _remove(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass

@@ -57,20 +57,29 @@ class ScenarioError(ValidationError):
 #: not identity: a crc collision here would serve a wrong bound)
 _bound_cache: dict = {}
 
-#: (cache root or None, writes enabled) -- the on-disk tier below the memo.
-#: Module state rather than an ``_execute`` parameter so the worker entry
-#: point and every monkeypatched ``_execute`` keep their signatures; set
-#: via :func:`_bound_io` in the parent and from the chunk args in workers.
-_BOUND_IO: tuple = (None, False)
+#: (cache root or None, writes enabled, call-scoped memo or None) -- the
+#: on-disk tier below the memo.  Module state rather than an ``_execute``
+#: parameter so the worker entry point and every monkeypatched
+#: ``_execute`` keep their signatures; set via :func:`_bound_io` in the
+#: parent and from the chunk args in workers.
+_BOUND_IO: tuple = (None, False, None)
 
 
 @contextmanager
 def _bound_io(store, mode: str):
-    """Scope the on-disk bound cache to one run/run_batch call."""
+    """Scope the on-disk bound cache to one run/run_batch call.
+
+    With a store present the memo is *call-scoped* (a fresh dict per
+    run/run_batch/chunk), not the process-global ``_bound_cache``: bound
+    hit/miss accounting must be a function of the batch and the cache
+    directory alone, never of what earlier calls in this process happened
+    to compute -- that determinism is what lets the dispatch and queue
+    layers assert cache-stat equality against the serial run.
+    """
     global _BOUND_IO
     previous = _BOUND_IO
-    _BOUND_IO = (store, mode == "readwrite") if store is not None \
-        else (None, False)
+    _BOUND_IO = (store, mode == "readwrite", {}) if store is not None \
+        else (None, False, None)
     try:
         yield
     finally:
@@ -79,18 +88,26 @@ def _bound_io(store, mode: str):
 
 def _instance_bound(scenario: Scenario, network, requests) -> float:
     key = (scenario.seed, scenario.instance_key())
-    value = _bound_cache.get(key)
-    if value is not None:
-        return value
-    store, write = _BOUND_IO
-    if store is not None:
-        value = store.load_bound(scenario)
+    store, write, memo = _BOUND_IO
+    if store is None:
+        value = _bound_cache.get(key)
+        if value is not None:
+            return value
+        value = None
+    else:
+        value = memo.get(key)
+        if value is not None:
+            store.stats.bound_hits += 1
+            return value
+        value = store.load_bound(scenario)  # counts bound_hits/misses
     if value is None:
         from repro.baselines.offline import offline_bound  # heavy; import late
 
         value = float(offline_bound(network, requests, scenario.horizon))
         if store is not None and write:
             store.store_bound(scenario, value)
+    if memo is not None:
+        memo[key] = value
     if len(_bound_cache) > 4096:
         _bound_cache.clear()
     _bound_cache[key] = value
@@ -338,19 +355,24 @@ def run(scenario: Scenario, *, cache: str | None = None,
     return report
 
 
-def _run_chunk(args) -> list:
+def _run_chunk(args) -> tuple:
     """Run one worker's chunk serially; module-level so it pickles.
 
-    Workers never consult the *report* cache: the parent resolved every
-    hit before sharding and performs the stores itself (single writer).
-    They do share the *bound* tier -- offline bounds are instance-keyed,
+    Returns ``(reports, bound_stats)``.  Workers never consult the
+    *report* cache: the parent resolved every hit before sharding and
+    performs the stores itself (single writer).  They do share the
+    *bound* tier -- offline bounds are instance-keyed,
     algorithm-independent values whose recomputation across processes is
     exactly what the on-disk entries exist to avoid (atomic writes make
-    concurrent writers safe: last identical payload wins)."""
+    concurrent writers safe: last identical payload wins).  The worker's
+    bound hit/miss accounting rides back to the parent, which folds it
+    into the batch's ``cache_stats``; chunks never split a same-instance
+    group, so the totals are identical to the serial run's."""
     scenarios, compute_bound, bound_root, bound_write = args
     store = ResultCache(bound_root) if bound_root is not None else None
     with _bound_io(store, "readwrite" if bound_write else "read"):
-        return [_execute(s, compute_bound) for s in scenarios]
+        reports = [_execute(s, compute_bound) for s in scenarios]
+    return reports, (store.stats if store is not None else CacheStats())
 
 
 def _batch_reason(scenario: Scenario) -> str | None:
@@ -584,9 +606,12 @@ def run_batch(scenarios, workers: int | None = None, *,
                     [([scenarios[i] for i in chunk], compute_bound,
                       bound_root, bound_write)
                      for chunk in chunks])
-                for chunk, reports in zip(chunks, chunk_results):
+                for chunk, (reports, bound_stats) in zip(chunks,
+                                                         chunk_results):
                     for i, report in zip(chunk, reports):
                         results[i] = report
+                    if store is not None:
+                        store.stats.add(bound_stats)
 
     for first, copies in duplicates.items():
         for i in copies:

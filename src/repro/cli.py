@@ -13,7 +13,13 @@ any run can be expressed as (or replayed from) a JSON scenario spec:
   execution (``--shards``/``--shard-index``/``--out``, or
   ``--emit-shards`` to write the manifests; ``--spec`` also accepts a
   shard manifest directly);
-* ``merge``   -- reassemble shard result files into the batch result;
+* ``merge``   -- reassemble shard result files (or a directory of them)
+  into the batch result;
+* ``enqueue`` / ``work`` / ``status`` / ``collect`` -- the elastic
+  sweep service: enqueue a batch as chunks into a shared queue
+  directory, pull-execute it with any number of ``work`` processes
+  (crashed workers' chunks are requeued via lease expiry), watch
+  progress, and merge the results;
 * ``figures`` -- the paper's figures as ASCII art.
 """
 
@@ -22,6 +28,7 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import pathlib
 import sys
 
@@ -422,23 +429,117 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def _emit_batch(reports, out, message: str, title: str) -> None:
+    """Shared output path for ``merge`` and ``collect``: the ``--out``
+    JSON is canonical and byte-identical across the two commands (the CI
+    chaos job diffs a ``collect --out`` against a ``merge --out``)."""
+    if out:
+        payload = json.dumps([r.to_dict() for r in reports],
+                             sort_keys=True, indent=2) + "\n"
+        pathlib.Path(out).write_text(payload)
+        print(f"{message} -> {out}")
+    else:
+        print(format_table(
+            _SWEEP_COLUMNS, [_report_row(r) for r in reports], title=title))
+    if reports.cache_stats is not None:
+        print(reports.cache_stats.summary())
+
+
 def cmd_merge(args) -> int:
     from repro.api import merge
 
     reports = merge(args.files)
-    if args.out:
-        payload = json.dumps([r.to_dict() for r in reports],
-                             sort_keys=True, indent=2) + "\n"
-        pathlib.Path(args.out).write_text(payload)
-        print(f"merged {len(reports)} report(s) from {len(args.files)} "
-              f"shard file(s) -> {args.out}")
-    else:
-        print(format_table(
-            _SWEEP_COLUMNS, [_report_row(r) for r in reports],
-            title=f"merged batch ({len(reports)} scenarios, "
-                  f"{len(args.files)} shard files)"))
-    if reports.cache_stats is not None:
-        print(reports.cache_stats.summary())
+    _emit_batch(
+        reports, args.out,
+        f"merged {len(reports)} report(s) from {len(args.files)} "
+        f"shard file(s)",
+        f"merged batch ({len(reports)} scenarios, "
+        f"{len(args.files)} shard files)")
+    return 0
+
+
+def cmd_enqueue(args) -> int:
+    from repro.api.queue import WorkQueue
+    from repro.api.run import parse_scenarios
+
+    try:
+        spec_data = json.loads(pathlib.Path(args.spec).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ValidationError(
+            f"enqueue: cannot read --spec {args.spec}: {exc}")
+    scenarios = parse_scenarios(spec_data, f"spec file {args.spec}")
+    if args.engine is not None:
+        scenarios = [s.replace(engine=args.engine) for s in scenarios]
+    # same capability pre-check as 'sweep --shards': unavailable scenarios
+    # never enter the queue (a chunk that fails deterministically would
+    # bounce between pending and claimed forever -- see api/queue.py)
+    runnable, _ = _runnable_scenarios(scenarios)
+    skipped = len(scenarios) - len(runnable)
+    if skipped:
+        print(f"note: excluding {skipped} unavailable scenario(s) from "
+              "the queue", file=sys.stderr)
+    if not runnable:
+        raise ValidationError("enqueue: no runnable scenarios in the spec")
+    queue = WorkQueue.create(args.queue, [s for _, s in runnable],
+                             chunk_size=args.chunk_size)
+    header = queue.header()
+    print(f"enqueued batch {header['batch_digest']}: "
+          f"{header['batch_size']} scenario(s) as {header['n_chunks']} "
+          f"chunk(s) -> {queue.root}")
+    print(f"start workers with 'repro work {queue.root}' (any number, "
+          "any host sharing the directory)")
+    return 0
+
+
+def cmd_work(args) -> int:
+    from repro.api.queue import WorkQueue
+    from repro.api.service import QueueWorker
+
+    crash_env = os.environ.get("REPRO_QUEUE_CRASH_AFTER")
+    crash_after = None
+    if crash_env is not None:
+        try:
+            crash_after = int(crash_env)
+        except ValueError:
+            raise ValidationError(
+                "work: REPRO_QUEUE_CRASH_AFTER must be an integer, got "
+                f"{crash_env!r}")
+    worker = QueueWorker(
+        WorkQueue(args.queue),
+        args.worker_id,
+        ttl=args.ttl,
+        poll=args.poll,
+        workers=args.workers,
+        cache=args.cache,
+        crash_after=crash_after,
+        crash_mode="exit",
+        log=lambda message: print(message, flush=True),
+    )
+    ran = worker.run(max_chunks=args.max_chunks)
+    drained = worker.queue.is_drained()
+    print(f"worker {worker.worker_id}: executed {ran} chunk(s); queue "
+          f"{'drained' if drained else 'still has work'}")
+    return 0
+
+
+def cmd_status(args) -> int:
+    from repro.api.queue import WorkQueue
+
+    status = WorkQueue(args.queue).status(args.ttl)
+    for line in status.lines():
+        print(line)
+    return 0
+
+
+def cmd_collect(args) -> int:
+    from repro.api.queue import WorkQueue
+
+    queue = WorkQueue(args.queue)
+    reports = queue.collect()
+    _emit_batch(
+        reports, args.out,
+        f"collected {len(reports)} report(s) from queue {queue.root}",
+        f"collected queue {queue.root} ({len(reports)} scenarios)")
     return 0
 
 
@@ -575,12 +676,64 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "merge",
         help="reassemble shard result files into the batch result")
-    p.add_argument("files", nargs="+", metavar="SHARD_JSONL",
-                   help="every shard's JSONL result file (any order)")
+    p.add_argument("files", nargs="+", metavar="SHARD_JSONL_OR_DIR",
+                   help="shard JSONL result files and/or directories of "
+                   "them (a directory stands for every *.jsonl directly "
+                   "inside it; any order)")
     p.add_argument("--out", default=None,
                    help="write the merged reports as canonical JSON instead "
                    "of printing the table")
     p.set_defaults(fn=cmd_merge)
+
+    p = sub.add_parser(
+        "enqueue",
+        help="enqueue a sweep spec as chunks into a work-queue directory")
+    p.add_argument("queue", metavar="QUEUE_DIR",
+                   help="fresh queue directory (shared between workers, "
+                   "e.g. on a network filesystem)")
+    p.add_argument("--spec", required=True, help="JSON scenario spec file")
+    p.add_argument("--chunk-size", type=int, default=8,
+                   help="scenarios per chunk (default 8): the unit of "
+                   "leasing, crash loss, and rebalancing")
+    p.add_argument("--engine", **engine_kwargs)
+    p.set_defaults(fn=cmd_enqueue)
+
+    p = sub.add_parser(
+        "work",
+        help="pull and execute chunks from a queue until it drains")
+    p.add_argument("queue", metavar="QUEUE_DIR")
+    p.add_argument("--worker-id", default=None,
+                   help="lease owner label (default: hostname-pid)")
+    p.add_argument("--ttl", type=float, default=60.0,
+                   help="lease seconds without a heartbeat before a chunk "
+                   "is considered abandoned and requeued (default 60)")
+    p.add_argument("--poll", type=float, default=1.0,
+                   help="idle sleep between claim attempts (default 1s)")
+    p.add_argument("--max-chunks", type=int, default=None,
+                   help="exit after executing this many chunks (default: "
+                   "run until the queue drains)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="process-pool width inside each chunk")
+    p.add_argument("--cache", **cache_kwargs)
+    p.set_defaults(fn=cmd_work)
+
+    p = sub.add_parser(
+        "status", help="live queue progress: chunks, leases, cache stats")
+    p.add_argument("queue", metavar="QUEUE_DIR")
+    p.add_argument("--ttl", type=float, default=60.0,
+                   help="lease TTL used to classify leases as live or "
+                   "expired (match the workers' --ttl)")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser(
+        "collect",
+        help="merge a drained queue's results into the batch result")
+    p.add_argument("queue", metavar="QUEUE_DIR")
+    p.add_argument("--out", default=None,
+                   help="write the merged reports as canonical JSON "
+                   "(byte-identical to 'repro merge --out' of the same "
+                   "batch) instead of printing the table")
+    p.set_defaults(fn=cmd_collect)
 
     p = sub.add_parser("list", help="registered algorithms/workloads/topologies")
     p.set_defaults(fn=cmd_list)

@@ -395,3 +395,114 @@ class TestSpecs:
             ]
 
         assert strip_wall(serial) == strip_wall(pooled)
+
+
+class TestQueueCommands:
+    """The elastic sweep service verbs: enqueue / work / status / collect."""
+
+    SCENARIO = TestSpecs.SCENARIO
+
+    def _queue_spec(self, tmp_path):
+        scenarios = [dict(self.SCENARIO, seed=s, algorithm={"name": name})
+                     for s in (0, 1)
+                     for name in ("greedy", "ntg")]
+        path = tmp_path / "batch.json"
+        path.write_text(json.dumps(scenarios))
+        return path
+
+    def test_enqueue_work_status_collect(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        spec = self._queue_spec(tmp_path)
+        queue_dir = tmp_path / "q"
+
+        assert main(["enqueue", str(queue_dir), "--spec", str(spec),
+                     "--chunk-size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "4 scenario(s) as 2 chunk(s)" in out
+
+        assert main(["status", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "chunks: total=2 pending=2 leased=0 expired=0 done=0" in out
+        assert "scenarios: done=0/4" in out
+
+        assert main(["work", str(queue_dir), "--worker-id", "t",
+                     "--cache", "off"]) == 0
+        out = capsys.readouterr().out
+        assert "queue drained" in out
+
+        assert main(["status", str(queue_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "chunks: total=2 pending=0 leased=0 expired=0 done=2" in out
+        assert "scenarios: done=4/4" in out
+
+        collected = tmp_path / "collected.json"
+        assert main(["collect", str(queue_dir),
+                     "--out", str(collected)]) == 0
+        reports = json.loads(collected.read_text())
+        assert len(reports) == 4
+        assert all("throughput" in r and "scenario" in r for r in reports)
+
+    def test_collect_table_matches_sweep(self, tmp_path, capsys,
+                                         monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        spec = self._queue_spec(tmp_path)
+        assert main(["sweep", "--spec", str(spec)]) == 0
+        plain = capsys.readouterr().out
+        queue_dir = tmp_path / "q"
+        assert main(["enqueue", str(queue_dir), "--spec", str(spec)]) == 0
+        assert main(["work", str(queue_dir), "--cache", "off"]) == 0
+        capsys.readouterr()
+        assert main(["collect", str(queue_dir)]) == 0
+        collected = capsys.readouterr().out
+
+        def strip_wall(text):
+            return [[c.strip() for c in line.split("|")][:-1]
+                    for line in text.splitlines() if "|" in line]
+
+        assert strip_wall(plain) == strip_wall(collected)
+
+    def test_collect_refuses_undrained_queue(self, tmp_path, capsys):
+        spec = self._queue_spec(tmp_path)
+        queue_dir = tmp_path / "q"
+        assert main(["enqueue", str(queue_dir), "--spec", str(spec),
+                     "--chunk-size", "2"]) == 0
+        capsys.readouterr()
+        assert main(["collect", str(queue_dir)]) == 2
+        err = capsys.readouterr().err
+        assert "not drained" in err and "chunk_00000" in err
+        assert "Traceback" not in err
+
+    def test_enqueue_refuses_existing_queue(self, tmp_path, capsys):
+        spec = self._queue_spec(tmp_path)
+        queue_dir = tmp_path / "q"
+        assert main(["enqueue", str(queue_dir), "--spec", str(spec)]) == 0
+        capsys.readouterr()
+        assert main(["enqueue", str(queue_dir), "--spec", str(spec)]) == 2
+        assert "already holds a queue" in capsys.readouterr().err
+
+    def test_enqueue_excludes_unavailable_scenarios(self, tmp_path,
+                                                    capsys):
+        """The capability pre-check mirrors 'sweep --shards': a scenario
+        no engine can run never enters the queue (it would requeue
+        forever)."""
+        scenarios = [dict(self.SCENARIO, algorithm={"name": "bufferless"}),
+                     dict(self.SCENARIO, algorithm={"name": "greedy"})]
+        spec = tmp_path / "batch.json"
+        spec.write_text(json.dumps(scenarios))  # bufferless needs B=0
+        queue_dir = tmp_path / "q"
+        assert main(["enqueue", str(queue_dir), "--spec", str(spec)]) == 0
+        captured = capsys.readouterr()
+        assert "excluding 1 unavailable scenario(s)" in captured.err
+        assert "1 scenario(s) as 1 chunk(s)" in captured.out
+
+    def test_work_on_missing_queue_exits_cleanly(self, tmp_path, capsys):
+        assert main(["work", str(tmp_path / "nope")]) == 2
+        err = capsys.readouterr().err
+        assert "not a work queue" in err and "Traceback" not in err
+
+    def test_work_rejects_bad_crash_env(self, tmp_path, capsys,
+                                        monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUE_CRASH_AFTER", "soon")
+        assert main(["work", str(tmp_path)]) == 2
+        assert "REPRO_QUEUE_CRASH_AFTER" in capsys.readouterr().err

@@ -253,6 +253,43 @@ class TestMergeRejects:
             merge([])
 
 
+class TestMergeDirectory:
+    """``merge`` accepts directories of result files (the queue's
+    ``results/`` directory, or a collected-from-hosts dropbox)."""
+
+    @pytest.fixture
+    def populated(self, tmp_path):
+        batch = [scenario(seed=s, algorithm=a)
+                 for s in range(3) for a in ("ntg", "greedy")]
+        files = run_all_shards(plan_shards(batch, 3), tmp_path / "results")
+        return batch, tmp_path / "results", files
+
+    def test_directory_equals_explicit_file_list(self, populated):
+        batch, directory, files = populated
+        assert list(merge(directory)) == list(merge(files))
+        assert list(merge([directory])) == list(run_batch(batch, cache="off"))
+
+    def test_mixed_directory_and_files(self, populated, tmp_path):
+        batch, directory, files = populated
+        moved = tmp_path / "elsewhere.jsonl"
+        files[0].rename(moved)
+        assert list(merge([moved, directory])) \
+            == list(run_batch(batch, cache="off"))
+
+    def test_empty_directory_rejected(self, tmp_path):
+        empty = tmp_path / "nothing"
+        empty.mkdir()
+        with pytest.raises(ShardError, match="holds no .*shard result"):
+            merge(empty)
+
+    def test_non_jsonl_entries_ignored(self, populated):
+        _, directory, _ = populated
+        (directory / "notes.txt").write_text("scratch\n")
+        (directory / "sub").mkdir()
+        batch_reports = merge(directory)
+        assert len(batch_reports) == 6
+
+
 class TestCrashResume:
     def test_truncated_shard_reruns_from_cache(self, tmp_path):
         """The resume contract: a shard that died mid-write is simply

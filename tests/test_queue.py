@@ -1,0 +1,431 @@
+"""Chaos suite for the elastic sweep service (repro.api.queue/service).
+
+The queue inherits the dispatch layer's headline guarantee and must keep
+it under *elastic* execution: **any execution history -- any worker
+count, any crash/requeue interleaving, any lease contention -- collects
+to the serial ``run_batch`` report-for-report** (same measurements, same
+``meta``; and for clean histories with a fresh cache, the same aggregate
+cache accounting).  Hypothesis drives randomized worker interleavings
+with a crash injected at a random point to hunt for counterexamples;
+the deterministic tests pin down the lease state machine itself --
+atomic claims, heartbeats, TTL expiry, crash-safe requeue, and the
+both-workers-finish-the-same-chunk race a false expiry produces.
+
+Everything timing-shaped runs against a fake clock and inline sleeps
+(``heartbeat_interval=0``), so no test here waits on wall time.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import (
+    NetworkSpec,
+    QueueError,
+    Scenario,
+    WorkloadSpec,
+    run_batch,
+)
+from repro.api.queue import WorkQueue
+from repro.api.service import QueueWorker, WorkerCrash
+
+
+def scenario(seed=0, algorithm="ntg", n=12, num=16, engine=None):
+    """A cheap runnable scenario (greedy family on a small line)."""
+    return Scenario(
+        network=NetworkSpec("line", (n,), 2, 2),
+        workload=WorkloadSpec("uniform", {"num": num, "horizon": n}),
+        algorithm=algorithm,
+        horizon=4 * n,
+        seed=seed,
+        engine=engine,
+    )
+
+
+def small_batch(n_seeds=3, algorithms=("ntg", "greedy")):
+    return [scenario(seed=s, algorithm=a)
+            for s in range(n_seeds) for a in algorithms]
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_worker(queue, worker_id, clock, cache_dir=None, **kwargs):
+    """A step-driven worker: no heartbeat thread, no real sleeps, cache
+    off unless a directory is given (the ambient REPRO_CACHE must never
+    leak into these assertions)."""
+    cache = "off" if cache_dir is None else "readwrite"
+    kwargs.setdefault("heartbeat_interval", 0)
+    kwargs.setdefault("poll", 0)
+    kwargs.setdefault("sleep", lambda seconds: None)
+    return QueueWorker(queue, worker_id, clock=clock, cache=cache,
+                       cache_dir=cache_dir, **kwargs)
+
+
+class TestEnqueue:
+    def test_layout_and_header(self, tmp_path):
+        batch = small_batch()
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        header = queue.header()
+        assert header["batch_size"] == len(batch)
+        assert header["n_chunks"] == 3
+        assert sorted(p.name for p in queue.pending_dir.iterdir()) == [
+            "chunk_00000.json", "chunk_00001.json", "chunk_00002.json"]
+        assert list(queue.claimed_dir.iterdir()) == []
+        assert list(queue.results_dir.iterdir()) == []
+        assert sum(header["chunk_sizes"].values()) == len(batch)
+
+    def test_chunking_is_deterministic(self, tmp_path):
+        batch = small_batch()
+        a = WorkQueue.create(tmp_path / "a", batch, chunk_size=2)
+        b = WorkQueue.create(tmp_path / "b", batch, chunk_size=2)
+        for name in ("chunk_00000.json", "chunk_00001.json"):
+            assert (a.pending_dir / name).read_text() \
+                == (b.pending_dir / name).read_text()
+        assert a.header()["batch_digest"] == b.header()["batch_digest"]
+
+    def test_refuses_existing_queue(self, tmp_path):
+        WorkQueue.create(tmp_path / "q", small_batch())
+        with pytest.raises(QueueError, match="already holds a queue"):
+            WorkQueue.create(tmp_path / "q", small_batch())
+
+    def test_rejects_bad_chunk_size_and_duplicates(self, tmp_path):
+        with pytest.raises(QueueError, match="chunk_size"):
+            WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=0)
+        from repro.api import ShardError
+
+        with pytest.raises(ShardError, match="duplicate scenario"):
+            WorkQueue.create(tmp_path / "q2", [scenario(), scenario()])
+
+    def test_non_queue_directory_rejected(self, tmp_path):
+        with pytest.raises(QueueError, match="not a work queue"):
+            WorkQueue(tmp_path).claim("w")
+        with pytest.raises(QueueError, match="not a work queue"):
+            WorkQueue(tmp_path).status()
+
+
+class TestLeaseStateMachine:
+    def test_claims_are_exclusive_and_ordered(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        first = queue.claim("a", clock=clock)
+        second = queue.claim("b", clock=clock)
+        third = queue.claim("a", clock=clock)
+        assert [m["shard_index"] for m in (first, second, third)] == [0, 1, 2]
+        assert queue.claim("b", clock=clock) is None
+        assert sorted(p.stem for p in queue.claimed_dir.iterdir()) == [
+            "chunk_00000", "chunk_00001", "chunk_00002"]
+
+    def test_heartbeat_keeps_lease_alive(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        queue.claim("a", clock=clock)
+        clock.advance(5)
+        queue.heartbeat("chunk_00000", "a", clock=clock)
+        clock.advance(6)  # 11s since claim, 6s since heartbeat
+        assert queue.requeue_expired(ttl=8, clock=clock) == []
+        clock.advance(5)  # 11s since heartbeat
+        assert queue.requeue_expired(ttl=8, clock=clock) == ["chunk_00000"]
+        assert (queue.pending_dir / "chunk_00000.json").exists()
+        assert not queue._lease_path("chunk_00000").exists()
+
+    def test_missing_lease_counts_as_expired(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        queue.claim("a", clock=clock)
+        queue._lease_path("chunk_00000").unlink()
+        assert queue.requeue_expired(ttl=60, clock=clock) == ["chunk_00000"]
+
+    def test_completed_but_uncleaned_chunk_is_finalized(self, tmp_path):
+        """A worker that died between the result write and the marker
+        cleanup left a done chunk behind a claim: the sweep finalizes it
+        instead of requeueing (the result file is authoritative)."""
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        manifest = queue.claim("a", clock=clock)
+        reports = run_batch([Scenario.from_dict(i["scenario"])
+                             for i in manifest["scenarios"]], cache="off")
+        from repro.api.dispatch import write_shard_result
+
+        write_shard_result(manifest, reports,
+                           queue.result_path("chunk_00000"))
+        clock.advance(1000)
+        assert queue.requeue_expired(ttl=1, clock=clock) == []
+        assert not (queue.claimed_dir / "chunk_00000.json").exists()
+        assert not queue._lease_path("chunk_00000").exists()
+        assert "chunk_00000" in queue.done_chunks()
+
+    def test_release_returns_chunk_immediately(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        queue.claim("a", clock=clock)
+        queue.release("chunk_00000")
+        assert (queue.pending_dir / "chunk_00000.json").exists()
+        assert queue.claim("b", clock=clock)["shard_index"] == 0
+
+    def test_worker_releases_chunk_on_execution_error(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        worker = make_worker(queue, "a", clock)
+        queue.complete = lambda *args: (_ for _ in ()).throw(
+            RuntimeError("disk full"))
+        with pytest.raises(RuntimeError, match="disk full"):
+            worker.step()
+        assert (queue.pending_dir / "chunk_00000.json").exists()
+        assert list(queue.claimed_dir.iterdir()) == []
+
+
+class TestWorkerLoop:
+    def test_single_worker_drains_and_matches_serial(self, tmp_path):
+        batch = small_batch()
+        serial = run_batch(batch, cache="off")
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        worker = make_worker(queue, "solo", FakeClock())
+        assert worker.run() == 3
+        assert queue.is_drained()
+        assert worker.step() == "drained"
+        merged = queue.collect()
+        assert list(merged) == list(serial)
+        assert [r.meta for r in merged] == [r.meta for r in serial]
+
+    def test_step_waits_while_others_hold_live_leases(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=6)
+        clock = FakeClock()
+        queue.claim("other", clock=clock)  # the only chunk, lease fresh
+        worker = make_worker(queue, "idle", clock, ttl=60)
+        assert worker.step() == "wait"
+
+    def test_clean_history_cache_stats_equal_serial(self, tmp_path):
+        """No crashes, fresh caches on both sides: the collected batch
+        reproduces the serial aggregate cache accounting exactly --
+        including the PR 6 offline-bound tier."""
+        batch = small_batch()
+        serial = run_batch(batch, cache="readwrite",
+                           cache_dir=tmp_path / "serial_cache")
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        worker = make_worker(queue, "solo", FakeClock(),
+                             cache_dir=tmp_path / "queue_cache")
+        worker.run()
+        merged = queue.collect()
+        assert list(merged) == list(serial)
+        assert vars(merged.cache_stats) == vars(serial.cache_stats)
+        assert merged.cache_stats.bound_misses > 0  # the tier is live
+
+
+class TestCrashRequeue:
+    def test_crash_midchunk_requeues_and_collects_serial(self, tmp_path):
+        """A worker dies after executing (and caching) one scenario of
+        its chunk.  The lease expires, a second worker requeues and
+        reruns the chunk -- replaying the crashed worker's partial
+        progress from the shared cache -- and the collected batch equals
+        the serial run with exactly accounted hits/misses."""
+        batch = small_batch()
+        serial = run_batch(batch, cache="off")
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        clock = FakeClock()
+        cache_dir = tmp_path / "cache"
+
+        crasher = make_worker(queue, "crasher", clock, cache_dir=cache_dir,
+                              crash_after=1)
+        with pytest.raises(WorkerCrash):
+            crasher.step()
+        assert list(queue.results_dir.iterdir()) == []
+        assert (queue.claimed_dir / "chunk_00000.json").exists()
+
+        # within the TTL nothing moves; past it the rescuer requeues
+        rescuer = make_worker(queue, "rescuer", clock, cache_dir=cache_dir,
+                              ttl=30)
+        clock.advance(31)
+        assert rescuer.run() == 3
+        assert queue.is_drained()
+
+        merged = queue.collect()
+        assert list(merged) == list(serial)
+        assert [r.meta for r in merged] == [r.meta for r in serial]
+        stats = merged.cache_stats
+        n = len(batch)
+        assert (stats.hits, stats.misses, stats.stores) == (1, n - 1, n - 1)
+
+    def test_false_expiry_duplicate_execution_is_harmless(self, tmp_path):
+        """The race the TTL cannot rule out: a slow-but-alive worker
+        loses its lease, another worker reruns the chunk, and *both*
+        complete it.  Bit-identity makes the duplicate write a no-op;
+        the collected batch still equals serial."""
+        batch = small_batch()
+        serial = run_batch(batch, cache="off")
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        clock = FakeClock()
+
+        slow = queue.claim("slow", clock=clock)
+        clock.advance(1000)  # slow never heartbeats; lease long dead
+        fast = make_worker(queue, "fast", clock, ttl=30)
+        assert fast.run() == 3  # includes the requeued chunk_00000
+        assert queue.is_drained()
+
+        # the slow worker wakes up and finishes the same chunk anyway
+        reports = run_batch([Scenario.from_dict(i["scenario"])
+                             for i in slow["scenarios"]], cache="off")
+        queue.complete(slow, reports)
+
+        assert queue.is_drained()
+        assert list(queue.claimed_dir.iterdir()) == []
+        merged = queue.collect()
+        assert list(merged) == list(serial)
+
+    def test_crash_between_result_and_cleanup(self, tmp_path):
+        """Death in the completion window (result written, markers not
+        yet removed) must not rerun the chunk: the sweep finalizes it
+        and the queue drains without duplicate work."""
+        batch = small_batch()
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        clock = FakeClock()
+        manifest = queue.claim("victim", clock=clock)
+        from repro.api.dispatch import write_shard_result
+
+        write_shard_result(
+            manifest,
+            run_batch([Scenario.from_dict(i["scenario"])
+                       for i in manifest["scenarios"]], cache="off"),
+            queue.result_path("chunk_00000"))
+        # claim + lease still on disk: exactly the wreckage of that crash
+        clock.advance(1000)
+        survivor = make_worker(queue, "survivor", clock, ttl=30)
+        assert survivor.run() == 2  # the other two chunks only
+        assert queue.is_drained()
+        assert list(queue.collect()) == list(run_batch(batch, cache="off"))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much,
+                                 HealthCheck.data_too_large])
+@given(
+    seeds=st.lists(st.integers(0, 6), min_size=1, max_size=6, unique=True),
+    chunk_size=st.integers(1, 4),
+    schedule=st.lists(st.integers(0, 2), min_size=1, max_size=40),
+    crash_at=st.integers(0, 5),
+    crash_progress=st.integers(0, 3),
+)
+def test_chaos_histories_collect_serial(seeds, chunk_size, schedule,
+                                        crash_at, crash_progress):
+    """The headline invariant, fuzzed: three workers sharing one cache
+    interleave claims in a random order, one of them crashes mid-chunk
+    at a random point with random partial progress, leases expire at
+    random times (every idle step advances the clock past the TTL) --
+    and whatever history results, the collected batch equals the serial
+    ``run_batch`` report-for-report, including ``meta``."""
+    batch = [scenario(seed=s, algorithm=a)
+             for s in seeds for a in ("ntg", "greedy")]
+    serial = run_batch(batch, cache="off")
+    with tempfile.TemporaryDirectory() as tmp:
+        import pathlib
+
+        root = pathlib.Path(tmp)
+        queue = WorkQueue.create(root / "q", batch, chunk_size=chunk_size)
+        clock = FakeClock()
+        cache_dir = root / "cache"
+        workers = [make_worker(queue, f"w{i}", clock, cache_dir=cache_dir,
+                               ttl=10)
+                   for i in range(3)]
+        steps = 0
+        for turn in schedule:
+            worker = workers[turn]
+            if steps == crash_at:
+                worker.crash_after = crash_progress
+            try:
+                outcome = worker.step()
+            except WorkerCrash:
+                outcome = "crashed"
+            steps += 1
+            if outcome in ("wait", "crashed"):
+                clock.advance(11)  # beyond the TTL: stale leases expire
+            if queue.is_drained():
+                break
+        # the schedule may end mid-flight; one worker mops up
+        finisher = make_worker(queue, "finisher", clock, cache_dir=cache_dir,
+                               ttl=10,
+                               sleep=lambda seconds: clock.advance(11))
+        finisher.run()
+        assert queue.is_drained()
+        merged = queue.collect()
+    assert list(merged) == list(serial)
+    assert [r.meta for r in merged] == [r.meta for r in serial]
+    assert merged.cache_stats.lookups >= len(batch)
+
+
+class TestStatusAndCollect:
+    def test_status_tracks_lifecycle(self, tmp_path):
+        batch = small_batch()
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        clock = FakeClock()
+
+        status = queue.status(ttl=10, clock=clock)
+        assert (status.chunks_pending, status.chunks_active,
+                status.chunks_expired, status.chunks_done) == (3, 0, 0, 0)
+        assert not status.done and status.cache_stats is None
+
+        manifest = queue.claim("a", clock=clock)
+        status = queue.status(ttl=10, clock=clock)
+        assert (status.chunks_pending, status.chunks_active) == (2, 1)
+        assert status.workers[0][0] == "a"
+
+        clock.advance(11)
+        status = queue.status(ttl=10, clock=clock)
+        assert (status.chunks_active, status.chunks_expired) == (0, 1)
+
+        worker = make_worker(queue, "b", clock, ttl=10,
+                             cache_dir=tmp_path / "cache")
+        worker.run()
+        status = queue.status(ttl=10, clock=clock)
+        assert status.done
+        assert status.chunks_done == 3
+        assert status.scenarios_done == len(batch)
+        assert status.cache_stats is not None
+        assert status.cache_stats.lookups == len(batch)
+        lines = "\n".join(status.lines())
+        assert "chunks: total=3 pending=0 leased=0 expired=0 done=3" in lines
+        assert "cache: hits=" in lines
+        del manifest
+
+    def test_status_lines_are_greppable(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        lines = queue.status(clock=FakeClock()).lines()
+        assert lines[1] == "chunks: total=3 pending=3 leased=0 expired=0 " \
+                           "done=0"
+        assert lines[2] == "scenarios: done=0/6"
+
+    def test_collect_refuses_undrained_queue(self, tmp_path):
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        worker = make_worker(queue, "a", clock)
+        worker.step()  # one of three chunks done
+        with pytest.raises(QueueError, match="chunk_00001, chunk_00002"):
+            queue.collect()
+
+    def test_results_dir_merges_like_any_shard_set(self, tmp_path):
+        """The results directory is a plain dispatch.merge input: the
+        queue introduces no private result format."""
+        from repro.api import merge
+
+        batch = small_batch()
+        queue = WorkQueue.create(tmp_path / "q", batch, chunk_size=2)
+        make_worker(queue, "a", FakeClock()).run()
+        via_queue = queue.collect()
+        via_merge = merge(queue.results_dir)
+        assert list(via_queue) == list(via_merge)
+        assert json.dumps([r.to_dict() for r in via_queue], sort_keys=True) \
+            == json.dumps([r.to_dict() for r in via_merge], sort_keys=True)
