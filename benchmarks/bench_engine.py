@@ -31,11 +31,37 @@ import pytest
 
 from repro.analysis.tables import format_table
 from repro.api import NetworkSpec, Scenario, WorkloadSpec, run_batch
+from repro.network import kernel
 from repro.network.engine import resolve_engine_name
 
 #: measured fields that must be bit-identical across engines
 _MEASURES = ("throughput", "late", "rejected", "preempted", "steps",
              "latency_mean", "latency_max")
+
+
+def _merge_bench_record(name: str, record: dict) -> None:
+    """Read-modify-write one named record into ``BENCH_engine.json``.
+
+    The trajectory file is a dict keyed by bench name so the sweep and
+    kernel benches coexist regardless of test execution order.  A legacy
+    single-record file (the pre-kernel flat layout, recognizable by its
+    top-level ``"bench"`` key) is folded in under that key.
+    """
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "BENCH_engine.json"
+    records = {}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except ValueError:
+            existing = {}
+        if isinstance(existing, dict):
+            if "bench" in existing:  # legacy flat layout
+                records[str(existing["bench"])] = existing
+            else:
+                records = existing
+    records[name] = dict(record, bench=name)
+    path.write_text(json.dumps(records, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.mark.skipif(SMOKE, reason="speedup floor needs the full-size grid")
@@ -132,7 +158,6 @@ def test_batch_engine_sweep_speedup():
     pooled_es = sum(r.engine_time for r in pooled)
     batch_es = sum(r.engine_time for r in stacked)
     record = {
-        "bench": "batch_engine_sweep",
         "n_scenarios": n,
         "smoke": bool(SMOKE),
         "serial_wall_s": round(serial_s, 4),
@@ -147,9 +172,7 @@ def test_batch_engine_sweep_speedup():
         "wall_speedup_batch_vs_pooled": round(pooled_s / max(1e-9, batch_s), 2),
         "wall_speedup_batch_vs_serial": round(serial_s / max(1e-9, batch_s), 2),
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    (OUTPUT_DIR / "BENCH_engine.json").write_text(
-        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    _merge_bench_record("batch_engine_sweep", record)
     emit(
         "ENGINE_batch_sweep",
         format_table(
@@ -166,6 +189,65 @@ def test_batch_engine_sweep_speedup():
     )
     if not SMOKE:
         assert record["speedup_batch_vs_pooled"] >= 10.0, record
+
+
+def test_kernel_speedup():
+    """Numpy vs numba step kernel on the congested-grid workload.
+
+    Both backends run the *same* fast-engine program; only the admission
+    kernel (:mod:`repro.network.kernel`) differs, so measurements must be
+    bit-identical and ``meta["kernel"]`` must record the selected backend
+    (no silent fallback).  With numba installed, the compiled kernel must
+    cut fast-engine execution >= 2x on the full-size grid after an
+    untimed warmup run that pays JIT compilation; without numba the test
+    still records the numpy timing so the trajectory file carries a
+    kernel row on every CI leg.
+    """
+    side, num, wl_h = (16, 2_000, 64) if SMOKE else (48, 20_000, 128)
+    net = NetworkSpec("grid", (side, side), 1, 1)
+    workload = WorkloadSpec("uniform", {"num": num, "horizon": wl_h})
+
+    def run_under(name):
+        with kernel.using(name):
+            report, = run_batch(
+                [Scenario(net, workload, "ntg",
+                          horizon=wl_h + 2 * (side + side), seed=7,
+                          engine="fast")],
+                cache="off", compute_bound=False)
+        assert report.meta["kernel"] == name, report.meta
+        return report
+
+    numpy_report = run_under("numpy")
+    record = {
+        "smoke": bool(SMOKE),
+        "numba_available": kernel.numba_available(),
+        "numpy_engine_s": round(numpy_report.engine_time, 4),
+        "numba_engine_s": None,
+        "speedup_numba_vs_numpy": None,
+    }
+    rows = [["numpy", f"{numpy_report.engine_time:.3f}", "1.0x"]]
+    if kernel.numba_available():
+        run_under("numba")  # warmup: pays JIT compilation, untimed
+        numba_report = run_under("numba")
+        for field in _MEASURES:
+            assert getattr(numba_report, field) \
+                == getattr(numpy_report, field), field
+        speedup = numpy_report.engine_time \
+            / max(1e-9, numba_report.engine_time)
+        record["numba_engine_s"] = round(numba_report.engine_time, 4)
+        record["speedup_numba_vs_numpy"] = round(speedup, 2)
+        rows.append(["numba", f"{numba_report.engine_time:.3f}",
+                     f"{speedup:.1f}x"])
+    _merge_bench_record("kernel", record)
+    emit(
+        "ENGINE_kernel",
+        format_table(
+            ["kernel", "engine_s", "speedup"], rows,
+            title=f"step kernel backends on {net} ({workload})",
+        ),
+    )
+    if kernel.numba_available() and not SMOKE:
+        assert record["speedup_numba_vs_numpy"] >= 2.0, record
 
 
 def test_engine_env_selection():

@@ -111,6 +111,24 @@ class RegistryEntry:
         return self.fast_engine != "no"
 
     @property
+    def kernel(self) -> str:
+        """Whether the algorithm's array path resolves its ticks in the
+        compiled step kernel (:mod:`repro.network.kernel`).
+
+        ``"step"`` when the default configuration's fast/batch path runs
+        the grouped-admission kernel each tick (the vector-decision
+        family: greedy priorities, native ABI policies, the Model 2
+        vector engine); ``"no"`` for plan replay (table lookups, no
+        per-tick ranking), the scalar adapter, and reference-only
+        algorithms.  Derived from the ``fast_engine`` label unless the
+        registration overrides it with explicit ``kernel=`` metadata.
+        """
+        label = self.metadata.get("kernel")
+        if label:
+            return str(label)
+        return "step" if self.fast_engine == "vector" else "no"
+
+    @property
     def batch_engine(self) -> str:
         """How the algorithm runs under the stacked ``"batch"`` engine:
         ``"stack"`` when it registers a ``batch_policy`` factory (its

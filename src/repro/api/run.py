@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from repro.api.cache import CacheStats, ResultCache, resolve_mode
 from repro.api.registry import ALGORITHMS, WORKLOADS
 from repro.api.spec import Scenario
+from repro.network import kernel
 from repro.network.engine import resolve_engine_name
 from repro.util.errors import ValidationError
 
@@ -310,6 +311,14 @@ def _execute(scenario: Scenario, compute_bound: bool) -> RunReport:
     # back (unsupported policy, tracing), and metadata can be stale
     engine = getattr(result, "engine", None) or resolve_engine_name(scenario.engine)
 
+    meta = _jsonable(getattr(result, "plan_meta", {}) or {})
+    # the session's step-kernel selection (numba/numpy).  Deliberately
+    # engine-independent -- reference runs record it too -- because
+    # RunReport equality includes meta and engines share cache entries;
+    # kernels are bit-identical by contract, so the digest excludes this
+    # exactly like it excludes the engine
+    meta["kernel"] = kernel.active_kernel()
+
     return RunReport(
         scenario=scenario,
         requests=len(requests),
@@ -324,7 +333,7 @@ def _execute(scenario: Scenario, compute_bound: bool) -> RunReport:
         engine=engine,
         wall_time=time.perf_counter() - t0,
         engine_time=engine_time,
-        meta=_jsonable(getattr(result, "plan_meta", {}) or {}),
+        meta=meta,
     )
 
 
@@ -367,8 +376,16 @@ def _run_chunk(args) -> tuple:
     concurrent writers safe: last identical payload wins).  The worker's
     bound hit/miss accounting rides back to the parent, which folds it
     into the batch's ``cache_stats``; chunks never split a same-instance
-    group, so the totals are identical to the serial run's."""
-    scenarios, compute_bound, bound_root, bound_write = args
+    group, so the totals are identical to the serial run's.
+
+    The parent's *active* step kernel rides along too (not just the
+    ``REPRO_KERNEL`` environment): pooled output -- including
+    ``meta["kernel"]`` -- must be bit-identical to the serial run even
+    when the parent activated a kernel programmatically
+    (:func:`repro.network.kernel.using`) and the pool start method does
+    not inherit process state (spawn)."""
+    scenarios, compute_bound, bound_root, bound_write, kernel_name = args
+    kernel.activate(kernel_name)
     store = ResultCache(bound_root) if bound_root is not None else None
     with _bound_io(store, "readwrite" if bound_write else "read"):
         reports = [_execute(s, compute_bound) for s in scenarios]
@@ -459,7 +476,7 @@ def _execute_stacked(scenarios, compute_bound: bool) -> list:
             engine=result.engine,
             wall_time=time.perf_counter() - t0,
             engine_time=engine_time,
-            meta={},
+            meta={"kernel": kernel.active_kernel()},
         ))
     return reports
 
@@ -604,7 +621,7 @@ def run_batch(scenarios, workers: int | None = None, *,
                 chunk_results = pool.map(
                     _run_chunk,
                     [([scenarios[i] for i in chunk], compute_bound,
-                      bound_root, bound_write)
+                      bound_root, bound_write, kernel.active_kernel())
                      for chunk in chunks])
                 for chunk, (reports, bound_stats) in zip(chunks,
                                                          chunk_results):

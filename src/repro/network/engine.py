@@ -27,6 +27,15 @@ Resolution order for the engine name: an explicit argument, then the
 hook is how the bench suite runs end to end on either engine without
 threading a flag through every experiment.
 
+Orthogonal to the engine name, the ``REPRO_KERNEL`` environment variable
+(``auto`` | ``numba`` | ``numpy``, see :mod:`repro.network.kernel`)
+selects the *step kernel* backend the array engines resolve each tick
+with: the numba-compiled admission kernel when available, the
+bit-identical pure-numpy body otherwise.  The selection is recorded in
+``RunReport.meta["kernel"]`` and shown by ``repro list``; an explicit
+``numba`` with no numba installed fails loudly rather than silently
+degrading.
+
 The vectorized decision ABI
 ---------------------------
 The fast engine does not hard-code its policies.  Each time step it
@@ -82,6 +91,12 @@ from typing import Protocol
 
 import numpy as np
 
+from repro.network.kernel import (  # noqa: F401  (re-exported: the step
+    KERNEL_ENV_VAR,  # kernel is part of the engine-selection surface)
+    KERNEL_NAMES,
+    active_kernel,
+    resolve_kernel_name,
+)
 from repro.network.simulator import SimulationResult
 from repro.util.errors import ValidationError
 

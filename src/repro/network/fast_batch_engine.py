@@ -58,6 +58,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.network import kernel
 from repro.network.engine import StepView
 from repro.network.fast_engine import (
     _DELIVERED,
@@ -360,7 +361,7 @@ class FastBatchEngine:
         max_link_j = np.zeros(m, dtype=np.int64)
         max_buf_j = np.zeros(m, dtype=np.int64)
 
-        inj_order = np.argsort(arrival, kind="stable")
+        inj_order = kernel.injection_order(arrival)
         arr_sorted = arrival[inj_order]
 
         for t in range(0, int(horizon_j.max()) + 2):

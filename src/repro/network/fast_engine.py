@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.network import kernel
 from repro.network.engine import NO_DEADLINE, StepView, VectorDecision
 from repro.network.packet import DeliveryStatus, Packet
 from repro.network.simulator import PlanPolicy, Policy, SimulationResult
@@ -142,27 +143,6 @@ def _finalize_result(stats, scode, rid, delivered_t, trace, engine="fast"):
                             engine=engine)
 
 
-def _grouped_rank(gid, keys):
-    """Rank of each element within its ``gid`` group under ``keys``.
-
-    Returns ``(rank, group_counts)`` where ``rank[i]`` is the 0-based
-    position of element ``i`` inside its group sorted by ``keys`` (most
-    significant first) and ``group_counts`` holds the size of each group
-    (one entry per distinct gid, order unspecified).
-    """
-    order = np.lexsort(tuple(reversed(keys)) + (gid,))
-    g = gid[order]
-    new_group = np.empty(len(g), dtype=bool)
-    new_group[0] = True
-    new_group[1:] = g[1:] != g[:-1]
-    starts = np.flatnonzero(new_group)
-    counts = np.diff(np.append(starts, len(g)))
-    rank_sorted = np.arange(len(g)) - np.repeat(starts, counts)
-    rank = np.empty(len(g), dtype=np.int64)
-    rank[order] = rank_sorted
-    return rank, counts
-
-
 def greedy_masks(view: StepView, keys) -> VectorDecision:
     """Greedy contention resolution under a total order: the decision of
     every greedy-family policy, parameterized by its key tuple.
@@ -173,29 +153,22 @@ def greedy_masks(view: StepView, keys) -> VectorDecision:
     node the top ``B`` leftovers are stored.  Public on purpose: custom
     vector policies (see :mod:`repro.baselines.edd`) build their key
     arrays and delegate the subtle mask construction here, so the
-    bit-identity-critical logic exists once.
+    bit-identity-critical logic exists once.  The ranking and admission
+    themselves run in the selected step kernel
+    (:func:`repro.network.kernel.admit` -- compiled under numba, plain
+    numpy otherwise), which is how both the fast and the stacked batch
+    engine share one native hot loop.
 
     ``view.network`` may be a per-scenario :class:`Network` (scalar
     ``B``/``c``) or a stacked batch facade whose ``buffer_size`` and
     ``capacity`` are *per-row* arrays -- the ranking is group-local
     either way, so the same masks come out row for row.
     """
-    B = view.network.buffer_size
-    c = view.network.capacity
     togo = view.dst - view.loc
     axis = np.argmax(togo > 0, axis=1)  # one-bend: first unfinished axis
-    gid = view.node_id * view.network.d + axis
-    rank, _ = _grouped_rank(gid, keys)
-    fwd_mask = rank < c
-
-    store_mask = np.zeros(view.size, dtype=bool)
-    left = ~fwd_mask
-    if left.any():
-        B_left = B[left] if isinstance(B, np.ndarray) else B
-        if np.any(B_left > 0):
-            lrank, _ = _grouped_rank(view.node_id[left],
-                                     tuple(k[left] for k in keys))
-            store_mask[np.flatnonzero(left)[lrank < B_left]] = True
+    fwd_mask, store_mask = kernel.admit(
+        view.node_id, axis, view.network.d, keys,
+        view.network.buffer_size, view.network.capacity)
     return VectorDecision(forward=fwd_mask, axis=axis, store=store_mask)
 
 
@@ -445,7 +418,7 @@ class FastEngine:
             vpolicy = _PlanVectorPolicy(self.policy, d, rid)
         step_begin = getattr(vpolicy, "on_step_begin", None)
 
-        inj_order = np.argsort(arrival, kind="stable")
+        inj_order = kernel.injection_order(arrival)
         ptr = 0
         n_alive = 0
         last_arrival = int(arrival.max())

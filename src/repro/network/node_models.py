@@ -255,6 +255,7 @@ class FastModel2Engine:
     def run(self, requests, horizon: int) -> SimulationResult:
         import numpy as np
 
+        from repro.network import kernel
         from repro.network.fast_engine import (
             _DELIVERED,
             _INJECTED,
@@ -262,7 +263,6 @@ class FastModel2Engine:
             _PREEMPTED,
             _REJECTED,
             _finalize_result,
-            _grouped_rank,
             _priority_keys,
             _request_arrays,
         )
@@ -285,7 +285,7 @@ class FastModel2Engine:
         scode = np.zeros(n, dtype=np.int64)  # _PENDING
         delivered_t = np.full(n, -1, dtype=np.int64)
 
-        inj_order = np.argsort(arrival, kind="stable")
+        inj_order = kernel.injection_order(arrival)
         ptr = 0
         n_alive = 0
         last_arrival = int(arrival.max())
@@ -325,7 +325,7 @@ class FastModel2Engine:
             # phase 0: keep the B best-ranked packets per node
             keys = _priority_keys(priority, arrival[rem], rid[rem],
                                   dst[rem] - loc[rem])
-            rank, _ = _grouped_rank(loc[rem], keys)
+            rank = kernel.grouped_rank(loc[rem], keys)
             keep = rank < B
             dropped = rem[~keep]
             if dropped.size:

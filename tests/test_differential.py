@@ -13,7 +13,11 @@ two-phase engine) and the custom-policy paths of the decision ABI
 batched-adapter lift), plus (PR 6) the stacked batch engine:
 heterogeneous ``engine="batch"`` batches -- mixed sizes, horizons,
 policies, duplicates -- must match the serial per-scenario reference
-runs, with identical cache accounting.
+runs, with identical cache accounting, plus (PR 8) the step-kernel
+dimension: reference == fast == batch under every available kernel
+backend (``numpy`` always, ``numba`` when installed), with the selected
+backend actually recorded in ``meta["kernel"]`` -- the no-silent-fallback
+assert, mirroring the PR-4 adapter check.
 
 A failure here means the cache would serve wrong results -- fix the
 engine divergence before touching the cache.
@@ -37,10 +41,15 @@ from repro.api import (
     unavailable_reason,
 )
 from repro.api.run import _batch_reason
+from repro.network import kernel
 
 #: measured RunReport fields that must agree bit-for-bit
 MEASURES = ("requests", "throughput", "bound", "late", "rejected",
             "preempted", "latency_mean", "latency_max", "steps")
+
+#: the step-kernel backends this process can actually run
+KERNEL_MODES = ("numpy", "numba") if kernel.numba_available() \
+    else ("numpy",)
 
 
 def _same(a, b) -> bool:
@@ -161,6 +170,58 @@ def test_workers_bit_identical(batch):
     pooled = run_batch(batch, workers=4)
     for one, many in zip(serial, pooled):
         assert_reports_identical(one, many, "serial vs pooled")
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(scenarios(), st.sampled_from(KERNEL_MODES))
+def test_kernel_dimension_bit_identical(scenario, mode):
+    """reference == fast == batch under the drawn step-kernel backend,
+    and the drawn backend is what actually ran (``meta["kernel"]``) --
+    no silent fallback, mirroring the PR-4 adapter check."""
+    hypothesis.assume(runnable(scenario))
+    stackable = _batch_reason(scenario) is None
+    with kernel.using(mode):
+        ref = run(scenario.replace(engine="reference"))
+        fast = run(scenario.replace(engine="fast"))
+        # an explicit all-ineligible batch is the clean-error path
+        # (pinned in tests/test_fast_batch_engine.py), so only stack
+        # scenarios the batch program can express
+        stacked = run_batch([scenario.replace(engine="batch")])[0] \
+            if stackable else None
+    assert ref.meta["kernel"] == mode
+    assert fast.meta["kernel"] == mode
+    assert_reports_identical(ref, fast, f"reference vs fast [{mode}]")
+    if stackable:
+        assert stacked.meta["kernel"] == mode
+        assert_reports_identical(ref, stacked,
+                                 f"reference vs batch [{mode}]")
+
+
+@pytest.mark.skipif(
+    len(KERNEL_MODES) == 1,
+    reason="numba is not installed: the numba<->numpy kernel cross-check "
+           "cannot run here (CI's main leg installs numba)")
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(scenarios())
+def test_kernels_bit_identical(scenario):
+    """The same fast-engine run under the numba and numpy backends
+    differs in nothing but the recorded kernel name."""
+    hypothesis.assume(runnable(scenario))
+    with kernel.using("numpy"):
+        base = run(scenario.replace(engine="fast"))
+    with kernel.using("numba"):
+        jit = run(scenario.replace(engine="fast"))
+    for field in MEASURES:
+        assert _same(getattr(base, field), getattr(jit, field)), (
+            f"kernel backends diverged on {field} for {scenario}")
+    assert base.meta["kernel"] == "numpy"
+    assert jit.meta["kernel"] == "numba"
+    strip = lambda meta: {k: v for k, v in meta.items() if k != "kernel"}
+    assert strip(base.meta) == strip(jit.meta)
 
 
 @st.composite
