@@ -10,26 +10,69 @@ further up).
 from __future__ import annotations
 
 from repro.api.registry import register_algorithm, register_topology
-from repro.network.topology import GridNetwork, LineNetwork
+from repro.network.topology import (
+    GridNetwork,
+    LineNetwork,
+    RingNetwork,
+    TorusNetwork,
+    grid_geometry_reason,
+)
 from repro.util.errors import ValidationError
 
 
 @register_topology("line", description="uni-directional line 0 -> 1 -> ... -> n-1")
-def _build_line(dims, buffer_size, capacity):
+def _build_line(dims, buffer_size, capacity, link_caps=()):
     if len(dims) != 1:
         raise ValidationError(f"line topology takes one dimension, got {dims}")
-    return LineNetwork(dims[0], buffer_size=buffer_size, capacity=capacity)
+    return LineNetwork(dims[0], buffer_size=buffer_size, capacity=capacity,
+                       link_caps=link_caps)
 
 
 @register_topology("grid", description="uni-directional d-dimensional grid")
-def _build_grid(dims, buffer_size, capacity):
-    return GridNetwork(dims, buffer_size=buffer_size, capacity=capacity)
+def _build_grid(dims, buffer_size, capacity, link_caps=()):
+    return GridNetwork(dims, buffer_size=buffer_size, capacity=capacity,
+                       link_caps=link_caps)
+
+
+@register_topology(
+    "uniline",
+    description="unidirectional line as a first-class instance (alias "
+    "geometry of 'line'; distinct spec kind)",
+)
+def _build_uniline(dims, buffer_size, capacity, link_caps=()):
+    if len(dims) != 1:
+        raise ValidationError(f"uniline topology takes one dimension, got {dims}")
+    return LineNetwork(dims[0], buffer_size=buffer_size, capacity=capacity,
+                       link_caps=link_caps)
+
+
+@register_topology(
+    "ring",
+    description="uni-directional ring: line whose last node feeds node 0",
+)
+def _build_ring(dims, buffer_size, capacity, link_caps=()):
+    if len(dims) != 1:
+        raise ValidationError(f"ring topology takes one dimension, got {dims}")
+    return RingNetwork(dims[0], buffer_size=buffer_size, capacity=capacity,
+                       link_caps=link_caps)
+
+
+@register_topology(
+    "torus",
+    description="uni-directional torus: grid wrapping around every axis",
+)
+def _build_torus(dims, buffer_size, capacity, link_caps=()):
+    return TorusNetwork(dims, buffer_size=buffer_size, capacity=capacity,
+                        link_caps=link_caps)
 
 
 def _model2_requires(network, horizon) -> str | None:
     if network.d != 1:
         return "targets lines (d = 1)"
-    if network.capacity != 1:
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
+    if network.min_capacity != 1 or network.capacity != 1:
         return "Model 2 is defined for unit link capacity (c = 1)"
     return None
 

@@ -247,7 +247,7 @@ class Registry:
 #: the three public registries
 ALGORITHMS = Registry("algorithm", skip_params=("network", "requests", "horizon"))
 WORKLOADS = Registry("workload", skip_params=("network",))
-TOPOLOGIES = Registry("topology", skip_params=("dims", "buffer_size", "capacity"))
+TOPOLOGIES = Registry("topology", skip_params=("dims", "buffer_size", "capacity", "link_caps"))
 
 
 def register_algorithm(name: str, **metadata):

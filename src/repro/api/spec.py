@@ -73,42 +73,140 @@ def _freeze_params(params) -> tuple:
     return tuple(items)
 
 
+def _parse_dims(dims) -> tuple:
+    """Parse ``dims`` (CLI string, int, or iterable) into a tuple of
+    positive side lengths, raising :class:`ValidationError` naming the
+    offending input on anything malformed."""
+    raw = dims
+    if isinstance(dims, str):
+        parts = dims.split("x")
+        if not all(p.isdigit() for p in parts):
+            raise ValidationError(
+                f"invalid dims string {raw!r}; expected side lengths like "
+                f"'64' or '8x8'"
+            )
+        sides = tuple(int(p) for p in parts)
+    elif isinstance(dims, int):
+        sides = (dims,)
+    else:
+        try:
+            sides = tuple(int(x) for x in dims)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"invalid dims {raw!r}; expected an int, an 'LxW' string, "
+                f"or a sequence of ints"
+            ) from None
+    if not sides or any(l < 1 for l in sides):
+        raise ValidationError(f"dims must be positive, got {raw!r}")
+    return sides
+
+
+def _spec_int(value, name: str, minimum: int):
+    """Coerce a spec field to int with a clean error (satisfies the
+    ``--spec`` JSON contract: wrong-typed fields name themselves)."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValidationError(
+            f"{name} must be an integer, got {value!r} "
+            f"({type(value).__name__})"
+        )
+    if value < minimum:
+        raise ValidationError(f"{name} must be >= {minimum}, got {value}")
+    return int(value)
+
+
+def _freeze_link_caps(link_caps, dims: tuple) -> tuple:
+    """Normalize per-edge capacity overrides into a sorted tuple of
+    ``((tail...), axis, cap)`` triples (hashable, digest-stable)."""
+    if not link_caps:
+        return ()
+    if hasattr(link_caps, "items"):
+        entries = [(tail, axis, cap) for (tail, axis), cap in link_caps.items()]
+    else:
+        entries = list(link_caps)
+    out = []
+    for entry in entries:
+        try:
+            tail, axis, cap = entry
+            tail = tuple(int(x) for x in tail)
+        except (TypeError, ValueError):
+            raise ValidationError(
+                f"link_caps entries must be [tail, axis, cap] triples, "
+                f"got {entry!r}"
+            ) from None
+        axis = _spec_int(axis, "link_caps axis", 0)
+        cap = _spec_int(cap, "link_caps capacity", 1)
+        if len(tail) != len(dims) or axis >= len(dims):
+            raise ValidationError(
+                f"link_caps entry {entry!r} does not fit dims {dims}"
+            )
+        out.append((tail, axis, cap))
+    out.sort()
+    for prev, cur in zip(out, out[1:]):
+        if prev[:2] == cur[:2]:
+            raise ValidationError(
+                f"duplicate link_caps entry for edge "
+                f"(tail={cur[0]}, axis={cur[1]})"
+            )
+    return tuple(out)
+
+
 @dataclass(frozen=True)
 class NetworkSpec:
-    """A registered topology plus its shape parameters."""
+    """A registered topology plus its shape parameters.
+
+    ``link_caps`` is an optional tuple of ``(tail, axis, cap)`` per-edge
+    capacity overrides (JSON form: ``[[tail...], axis, cap]`` lists); it
+    is omitted from the digest key when empty, so pre-existing scenario
+    digests are unchanged.
+    """
 
     kind: str
     dims: tuple
     buffer_size: int = 1
     capacity: int = 1
+    link_caps: tuple = ()
 
     def __post_init__(self):
-        dims = self.dims
-        if isinstance(dims, str):
-            # CLI-style "8x8" / "64" -- NOT per-character digits
-            dims = tuple(int(x) for x in dims.split("x"))
-        elif isinstance(dims, int):
-            dims = (dims,)
-        object.__setattr__(self, "dims", tuple(int(x) for x in dims))
+        object.__setattr__(self, "dims", _parse_dims(self.dims))
+        object.__setattr__(
+            self, "buffer_size", _spec_int(self.buffer_size, "buffer_size", 0))
+        object.__setattr__(
+            self, "capacity", _spec_int(self.capacity, "capacity", 1))
+        object.__setattr__(
+            self, "link_caps", _freeze_link_caps(self.link_caps, self.dims))
 
     @classmethod
-    def parse(cls, dims: str, buffer_size: int = 1, capacity: int = 1) -> "NetworkSpec":
-        """Build from a CLI-style dims string: ``"64"`` or ``"8x8"``."""
-        sides = tuple(int(x) for x in str(dims).split("x"))
-        kind = "line" if len(sides) == 1 else "grid"
+    def parse(cls, dims: str, buffer_size: int = 1, capacity: int = 1,
+              kind: str | None = None) -> "NetworkSpec":
+        """Build from a CLI-style dims string: ``"64"`` or ``"8x8"``.
+
+        ``kind`` overrides the inferred topology (``line`` for one side,
+        ``grid`` otherwise) -- e.g. ``"ring"`` or ``"torus"``.
+        """
+        sides = _parse_dims(str(dims))
+        if kind is None:
+            kind = "line" if len(sides) == 1 else "grid"
         return cls(kind, sides, buffer_size, capacity)
 
     def build(self):
         """Instantiate the :class:`~repro.network.topology.Network`."""
         entry = TOPOLOGIES.get(self.kind)
-        return entry.fn(self.dims, self.buffer_size, self.capacity)
+        return entry.fn(self.dims, self.buffer_size, self.capacity,
+                        self.link_caps)
 
     def key(self) -> tuple:
-        return ("network", self.kind, self.dims, self.buffer_size, self.capacity)
+        base = ("network", self.kind, self.dims, self.buffer_size, self.capacity)
+        if self.link_caps:
+            base += (("link_caps", self.link_caps),)
+        return base
 
     def to_dict(self) -> dict:
-        return {"kind": self.kind, "dims": list(self.dims),
+        data = {"kind": self.kind, "dims": list(self.dims),
                 "buffer_size": self.buffer_size, "capacity": self.capacity}
+        if self.link_caps:
+            data["link_caps"] = [[list(tail), axis, cap]
+                                 for tail, axis, cap in self.link_caps]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "NetworkSpec":
@@ -118,13 +216,14 @@ class NetworkSpec:
             data["buffer_size"] = data.pop("B")
         if "c" in data:
             data["capacity"] = data.pop("c")
-        _check_keys(data, {"kind", "dims", "buffer_size", "capacity"},
-                    "network")
+        _check_keys(data, {"kind", "dims", "buffer_size", "capacity",
+                           "link_caps"}, "network")
         return cls(**data)
 
     def __str__(self) -> str:
         dims = "x".join(str(l) for l in self.dims)
-        return f"{self.kind}:{dims} B={self.buffer_size} c={self.capacity}"
+        caps = f" +{len(self.link_caps)} link_caps" if self.link_caps else ""
+        return f"{self.kind}:{dims} B={self.buffer_size} c={self.capacity}{caps}"
 
 
 @dataclass(frozen=True)

@@ -55,13 +55,14 @@ class EarliestDeadlinePolicy(Policy):
     batch_program = "edd"
 
     def decide(self, node, t, candidates, network: Network) -> Decision:
-        B, c = network.buffer_size, network.capacity
+        B = network.buffer_size
         by_axis: dict = {}
         for pkt in candidates:
-            by_axis.setdefault(one_bend_axis(pkt), []).append(pkt)
+            by_axis.setdefault(one_bend_axis(pkt, network), []).append(pkt)
         decision = Decision()
         leftovers: list = []
         for axis, pkts in by_axis.items():
+            c = network.capacity_of(node, axis)
             pkts.sort(key=edd_key)
             decision.forward[axis] = pkts[:c]
             leftovers.extend(pkts[c:])

@@ -23,19 +23,25 @@ from repro.network.topology import Network
 from repro.util.errors import ValidationError
 
 
-def one_bend_axis(pkt: Packet) -> int:
+def one_bend_axis(pkt: Packet, network: Network | None = None) -> int:
     """First axis on which the packet still has distance to cover
-    (dimension-order / 1-bend routing)."""
+    (dimension-order / 1-bend routing).
+
+    Pass the network on wrapping topologies, where an axis is unfinished
+    whenever the coordinates differ (the forward cycle always reaches).
+    """
+    wrap = network.wrap if network is not None else None
     for axis, (x, dx) in enumerate(zip(pkt.location, pkt.request.dest)):
-        if x < dx:
+        if x < dx or (wrap is not None and wrap[axis] and x != dx):
             return axis
     raise ValidationError(f"packet {pkt.rid} already at destination")
 
 
 _PRIORITIES = {
-    "fifo": lambda pkt: (pkt.request.arrival, pkt.rid),
-    "lifo": lambda pkt: (-pkt.request.arrival, -pkt.rid),
-    "longest": lambda pkt: (-pkt.remaining_distance(), pkt.request.arrival, pkt.rid),
+    "fifo": lambda pkt, network: (pkt.request.arrival, pkt.rid),
+    "lifo": lambda pkt, network: (-pkt.request.arrival, -pkt.rid),
+    "longest": lambda pkt, network: (-pkt.remaining_distance(network),
+                                     pkt.request.arrival, pkt.rid),
 }
 
 
@@ -57,17 +63,19 @@ class GreedyPolicy(Policy):
         self._key = _PRIORITIES[priority]
 
     def decide(self, node, t, candidates, network: Network) -> Decision:
-        B, c = network.buffer_size, network.capacity
+        B = network.buffer_size
         by_axis: dict = {}
         for pkt in candidates:
-            by_axis.setdefault(one_bend_axis(pkt), []).append(pkt)
+            by_axis.setdefault(one_bend_axis(pkt, network), []).append(pkt)
         decision = Decision()
+        key = lambda pkt: self._key(pkt, network)
         leftovers: list = []
         for axis, pkts in by_axis.items():
-            pkts.sort(key=self._key)
+            c = network.capacity_of(node, axis)
+            pkts.sort(key=key)
             decision.forward[axis] = pkts[:c]
             leftovers.extend(pkts[c:])
-        leftovers.sort(key=self._key)
+        leftovers.sort(key=key)
         decision.store = leftovers[:B]
         return decision
 

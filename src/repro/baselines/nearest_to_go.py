@@ -17,9 +17,9 @@ from repro.network.simulator import Decision, Policy, SimulationResult
 from repro.network.topology import Network
 
 
-def ntg_key(pkt):
+def ntg_key(pkt, network=None):
     """Nearest-to-go priority: fewest remaining hops, then age, then id."""
-    return (pkt.remaining_distance(), pkt.request.arrival, pkt.rid)
+    return (pkt.remaining_distance(network), pkt.request.arrival, pkt.rid)
 
 
 class NearestToGoPolicy(Policy):
@@ -32,17 +32,19 @@ class NearestToGoPolicy(Policy):
     fast_priority = "ntg"
 
     def decide(self, node, t, candidates, network: Network) -> Decision:
-        B, c = network.buffer_size, network.capacity
+        B = network.buffer_size
         by_axis: dict = {}
         for pkt in candidates:
-            by_axis.setdefault(one_bend_axis(pkt), []).append(pkt)
+            by_axis.setdefault(one_bend_axis(pkt, network), []).append(pkt)
         decision = Decision()
+        key = lambda pkt: ntg_key(pkt, network)
         leftovers: list = []
         for axis, pkts in by_axis.items():
-            pkts.sort(key=ntg_key)
+            c = network.capacity_of(node, axis)
+            pkts.sort(key=key)
             decision.forward[axis] = pkts[:c]
             leftovers.extend(pkts[c:])
-        leftovers.sort(key=ntg_key)
+        leftovers.sort(key=key)
         decision.store = leftovers[:B]
         return decision
 

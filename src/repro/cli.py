@@ -45,6 +45,7 @@ from repro.api import (
     load_scenarios,
     run,
     run_batch,
+    topology_names,
     unavailable_reason,
     workload_names,
 )
@@ -53,6 +54,7 @@ from repro.api import (
 #: the ignored-flag warnings both read it, so the two cannot drift)
 _COMMON_DEFAULTS = {
     "dims": "32",
+    "topology": None,
     "B": 3,
     "c": 3,
     "requests": 100,
@@ -80,6 +82,7 @@ _ALGO_CLI_DEFAULTS = {
 #: flags that cannot override a --spec file (scenarios are self-contained)
 _SPEC_FIXED_FLAGS = (
     ("--dims", "dims"),
+    ("--topology", "topology"),
     ("-B", "B"),
     ("-c", "c"),
     ("--requests", "requests"),
@@ -181,7 +184,8 @@ def _workload_spec(args, network: NetworkSpec) -> WorkloadSpec:
 
 
 def _scenario(args, algorithm: str) -> Scenario:
-    network = NetworkSpec.parse(args.dims, args.B, args.c)
+    network = NetworkSpec.parse(args.dims, args.B, args.c,
+                                kind=args.topology)
     return Scenario(
         network=network,
         workload=_workload_spec(args, network),
@@ -625,6 +629,10 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--dims", default=_COMMON_DEFAULTS["dims"],
                         help="e.g. 64 or 8x8")
+    common.add_argument("--topology", default=_COMMON_DEFAULTS["topology"],
+                        choices=topology_names(),
+                        help="network family (default: line for one "
+                        "dimension, grid otherwise)")
     common.add_argument("-B", type=int, default=_COMMON_DEFAULTS["B"])
     common.add_argument("-c", type=int, default=_COMMON_DEFAULTS["c"])
     common.add_argument("--requests", type=int,

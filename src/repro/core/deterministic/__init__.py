@@ -18,12 +18,18 @@ Requiring one unit of capacity per track is why the algorithm needs
 from repro.api.registry import planner_adapter, register_algorithm
 from repro.core.deterministic.framework import DeterministicRouter
 from repro.core.deterministic import variants as _variants  # registers itself
+from repro.network.topology import grid_geometry_reason
 
 __all__ = ["DeterministicRouter"]
 
 
 def _det_requires(network, horizon) -> str | None:
-    B, c = network.buffer_size, network.capacity
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
+    # the minimum edge capacity is the binding constraint on
+    # heterogeneous networks
+    B, c = network.buffer_size, network.min_capacity
     if (B >= 3 and c >= 3) or (B == 0 and c >= 3):
         return None
     return "requires B, c >= 3 (or B = 0, c >= 3)"

@@ -49,7 +49,7 @@ class DeterministicRouter(Router):
 
     def __init__(self, network: Network, horizon: int, k: int | None = None,
                  pmax: int | None = None, strict: bool = True):
-        B, c = network.buffer_size, network.capacity
+        B, c = network.buffer_size, network.min_capacity
         if strict:
             ok = (B >= 3 and c >= 3) or (B == 0 and c >= 3)
             if not ok:

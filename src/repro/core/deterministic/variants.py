@@ -75,7 +75,7 @@ class BufferlessLineRouter(Router):
             routed = False
             # prefer a conflict-free channel; preempt only when forced
             channels = sorted(
-                range(self.network.capacity),
+                range(self.network.min_capacity),
                 key=lambda ch: bool(self._packer(col, ch).conflicting(iv)),
             )
             for channel in channels:
@@ -136,7 +136,8 @@ class SpaceTimeDigraph:
             v = (*request.dest, col)
             if not self.graph.valid_vertex(v):
                 continue
-            if self.graph.vertex_time(v) < request.arrival + request.distance:
+            if self.graph.vertex_time(v) < request.arrival + \
+                    self.graph.network.dist(request.source, request.dest):
                 continue  # unreachable copies: arrival time physics
             self._sink_edges.setdefault(v, []).append((("k", v, rid), node))
             count += 1
@@ -176,7 +177,7 @@ class LargeCapacityRouter(Router):
         self.graph = SpaceTimeGraph(network, horizon)
         self.pmax = network.pmax() if pmax is None else int(pmax)
         self.k = network.tile_side_k(self.pmax) if k is None else int(k)
-        B, c = network.buffer_size, network.capacity
+        B, c = network.buffer_size, network.min_capacity
         if strict and (B < self.k or c < self.k):
             raise ValidationError(
                 f"Theorem 13 requires B, c >= k = {self.k}; got B={B}, c={c}"
@@ -222,18 +223,26 @@ class LargeCapacityRouter(Router):
 # -- registry entries -------------------------------------------------------
 
 from repro.api.registry import planner_adapter, register_algorithm  # noqa: E402
+from repro.network.topology import grid_geometry_reason  # noqa: E402
 
 
 def _bufferless_requires(network, horizon) -> str | None:
     if network.d != 1:
         return "targets lines (d = 1)"
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
     if network.buffer_size != 0:
         return "requires B = 0 (bufferless)"
     return None
 
 
 def _theorem13_requires(network, horizon) -> str | None:
-    B, c = network.buffer_size, network.capacity
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
+    # the minimum edge capacity is the binding constraint
+    B, c = network.buffer_size, network.min_capacity
     k = network.tile_side_k()
     if B < k or c < k:
         return f"Theorem 13 requires B, c >= k = {k}"

@@ -18,6 +18,7 @@ from repro.core.randomized.near import NearRouter
 from repro.core.randomized.params import RandomizedParams
 from repro.core.randomized.large_buffers import LargeBufferLineRouter
 from repro.core.randomized.small_buffers import SmallBufferLineRouter
+from repro.network.topology import grid_geometry_reason
 
 __all__ = [
     "FarPlusRouter",
@@ -36,7 +37,10 @@ def _logn(network) -> float:
 def _rand_requires(network, horizon) -> str | None:
     if network.d != 1:
         return "targets lines (d = 1)"
-    B, c = network.buffer_size, network.capacity
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
+    B, c = network.buffer_size, network.min_capacity
     logn = _logn(network)
     if B < 1:
         return "requires B >= 1"
@@ -48,7 +52,10 @@ def _rand_requires(network, horizon) -> str | None:
 def _rand_large_requires(network, horizon) -> str | None:
     if network.d != 1:
         return "targets lines (d = 1)"
-    B, c = network.buffer_size, network.capacity
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
+    B, c = network.buffer_size, network.min_capacity
     if B < _logn(network) * c:
         return f"Section 7.7 requires B/c >= log n = {_logn(network):.1f}"
     return None
@@ -57,7 +64,10 @@ def _rand_large_requires(network, horizon) -> str | None:
 def _rand_small_requires(network, horizon) -> str | None:
     if network.d != 1:
         return "targets lines (d = 1)"
-    B, c = network.buffer_size, network.capacity
+    reason = grid_geometry_reason(network)
+    if reason:
+        return reason
+    B, c = network.buffer_size, network.min_capacity
     logn = _logn(network)
     if B > logn or c < logn:
         return f"Section 7.8 requires B <= log n <= c (log n = {logn:.1f})"

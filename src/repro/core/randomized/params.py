@@ -47,7 +47,7 @@ class RandomizedParams:
         if network.d != 1:
             raise ValidationError("the randomized algorithm targets lines (d = 1)")
         n = network.n
-        B, c = network.buffer_size, network.capacity
+        B, c = network.buffer_size, network.min_capacity
         if B < 1:
             raise ValidationError("randomized algorithm requires B >= 1")
         logn = max(1.0, math.log2(n))

@@ -35,7 +35,7 @@ class SmallBufferLineRouter(Router):
                  strict: bool = True):
         if network.d != 1:
             raise ValidationError("SmallBufferLineRouter targets lines")
-        n, B, c = network.n, network.buffer_size, network.capacity
+        n, B, c = network.n, network.buffer_size, network.min_capacity
         logn = max(1.0, math.log2(n))
         if strict and (B > logn or c < logn):
             raise ValidationError(
@@ -70,7 +70,7 @@ class SmallBufferLineRouter(Router):
     def route(self, requests) -> Plan:
         plan = Plan()
         kept, dropped = proposition14_filter(
-            list(requests), self.network.buffer_size + self.network.capacity
+            list(requests), self.network.buffer_size + self.network.min_capacity
         )
         for r in self.arrival_order(kept):
             if r.is_trivial():

@@ -173,12 +173,17 @@ class StepView:
         return self.rid.size
 
     def remaining(self) -> np.ndarray:
-        """Hops left to each destination (the nearest-to-go key)."""
-        return (self.dst - self.loc).sum(axis=1)
+        """Hops left to each destination (the nearest-to-go key).
+
+        Delegates to the network's geometry so wrapping axes (ring,
+        torus) count mod the side length.
+        """
+        return self.network.togo_array(self.loc, self.dst).sum(axis=1)
 
     def hops(self) -> np.ndarray:
-        """Hops travelled so far (exact on a uni-directional grid)."""
-        return (self.loc - self.src).sum(axis=1)
+        """Hops travelled so far (exact for 1-bend routes; wrapping axes
+        reconstruct travel mod the side length)."""
+        return self.network.hops_array(self.src, self.loc).sum(axis=1)
 
     def injected_now(self) -> np.ndarray:
         """Mask of packets revealed (locally input) this very step."""

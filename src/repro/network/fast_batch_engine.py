@@ -83,16 +83,43 @@ class _StackedNetworkView:
 
     ``d`` is the widest grid dimension of the stack; ``buffer_size`` and
     ``capacity`` are arrays aligned with the view's rows (every row
-    carries its scenario's ``B``/``c``).  Batch programs must read only
-    these three attributes -- :func:`greedy_masks` does.
+    carries its scenario's ``B``/``c``).  ``dims``/``wrap`` are the
+    per-row ``(k, d)`` side lengths and wraparound flags (``wrap`` is
+    ``None`` when no stacked scenario wraps), and ``cap_flat`` the
+    global per-``(node, axis)`` capacity table (``None`` when every
+    stacked network is capacity-uniform).  Batch programs must read the
+    network only through these attributes and the geometry methods
+    below, which mirror :class:`~repro.network.topology.Network`'s --
+    :func:`greedy_masks` does.
     """
 
-    __slots__ = ("d", "buffer_size", "capacity")
+    __slots__ = ("d", "buffer_size", "capacity", "dims", "wrap", "cap_flat")
 
-    def __init__(self, d: int, buffer_size, capacity):
+    def __init__(self, d: int, buffer_size, capacity, dims=None, wrap=None,
+                 cap_flat=None):
         self.d = d
         self.buffer_size = buffer_size
         self.capacity = capacity
+        self.dims = dims
+        self.wrap = wrap
+        self.cap_flat = cap_flat
+
+    def togo_array(self, loc, dst):
+        togo = dst - loc
+        if self.wrap is not None:
+            togo = np.where(self.wrap, togo % self.dims, togo)
+        return togo
+
+    def hops_array(self, src, loc):
+        hops = loc - src
+        if self.wrap is not None:
+            hops = np.where(self.wrap, hops % self.dims, hops)
+        return hops
+
+    def edge_capacity(self, node_id, axis):
+        if self.cap_flat is None:
+            return self.capacity  # per-row c of each row's scenario
+        return self.cap_flat[node_id * self.d + axis]
 
 
 class _StackedPlanProgram(_PlanVectorPolicy):
@@ -292,7 +319,12 @@ class FastBatchEngine:
         c_j = np.zeros(m, dtype=np.int64)
         node_off = np.zeros(m, dtype=np.int64)
         dims2d = np.ones((m, d_max), dtype=np.int64)
+        wrap2d = np.zeros((m, d_max), dtype=bool)
         strides2d = np.zeros((m, d_max), dtype=np.int64)
+        # global per-(node, axis) capacity table, only when a stacked
+        # network overrides per-edge capacities
+        need_caps = any(job[0].link_caps for job in jobs)
+        cap_parts: list = []
         src_parts, dst_parts, arr_parts, dl_parts, rid_parts = \
             [], [], [], [], []
         reqs_all: list = []
@@ -308,6 +340,13 @@ class FastBatchEngine:
             nodes += network.n
             d_b = network.d
             dims2d[b, :d_b] = network.dims
+            wrap2d[b, :d_b] = network.wrap
+            if need_caps:
+                part = np.full(network.n * d_max, network.capacity,
+                               dtype=np.int64)
+                for (tail, axis), cap in network.link_caps.items():
+                    part[network.node_index(tail) * d_max + axis] = cap
+                cap_parts.append(part)
             # row-major strides of the job's own grid; padded axes stay 0
             # (their coordinate is always 0, so they contribute nothing)
             strides2d[b, d_b - 1] = 1
@@ -337,6 +376,8 @@ class FastBatchEngine:
         rid = np.concatenate(rid_parts) if total else np.zeros(0, np.int64)
         bid = np.repeat(np.arange(m, dtype=np.int64), cnt_j)
         reqs_all = tuple(reqs_all)
+        any_wrap = bool(wrap2d.any())
+        cap_flat = np.concatenate(cap_parts) if need_caps else None
 
         programs, prog_of_job = self._assign_programs(
             d_max, off_j, cnt_j, rid_parts, total)
@@ -430,7 +471,9 @@ class FastBatchEngine:
                 rb = bid[rows]
                 view = StepView(
                     t=t,
-                    network=_StackedNetworkView(d_max, B_j[rb], c_j[rb]),
+                    network=_StackedNetworkView(
+                        d_max, B_j[rb], c_j[rb], dims2d[rb],
+                        wrap2d[rb] if any_wrap else None, cap_flat),
                     requests=reqs_all, index=rows, node_id=node_id[pos],
                     loc=loc[rows], src=src[rows], dst=dst[rows],
                     arrival=arrival[rows], deadline=deadline[rows],
@@ -438,15 +481,19 @@ class FastBatchEngine:
                 )
                 decision = program.decide_vector(view)
                 f, a, s = self._check_decision(
-                    decision, view, rb, loc, dims2d, B_j, c_j,
-                    max_link_j, max_buf_j, d_max)
+                    decision, view, rb, loc, dims2d, wrap2d, B_j, c_j,
+                    cap_flat, max_link_j, max_buf_j, d_max)
                 fwd_mask[pos] = f
                 axis_arr[pos] = a
                 store_mask[pos] = s
 
             fwd = rem[fwd_mask]
             if fwd.size:
-                loc[fwd, axis_arr[fwd_mask]] += 1
+                fa = axis_arr[fwd_mask]
+                loc[fwd, fa] += 1
+                if any_wrap:
+                    # identity on non-wrapping axes (heads were validated)
+                    loc[fwd, fa] %= dims2d[bid[fwd], fa]
                 scode[fwd] = _INJECTED
                 forwards_j += np.bincount(bid[fwd], minlength=m)
             stored = rem[store_mask]
@@ -487,8 +534,8 @@ class FastBatchEngine:
     # -- decision enforcement ---------------------------------------------
 
     @staticmethod
-    def _check_decision(decision, view, rb, loc, dims2d, B_j, c_j,
-                        max_link_j, max_buf_j, d_max):
+    def _check_decision(decision, view, rb, loc, dims2d, wrap2d, B_j, c_j,
+                        cap_flat, max_link_j, max_buf_j, d_max):
         """Batched :meth:`FastEngine._check_decision`: one program's rows,
         per-row capacities, per-scenario load maxima.
 
@@ -519,7 +566,10 @@ class FastBatchEngine:
             rows = view.index[fwd_mask]
             fb = rb[fwd_mask]
             heads = loc[rows, fa] + 1
-            bad = heads >= dims2d[fb, fa]
+            # an edge exists when the head stays on-grid, or the axis
+            # wraps with more than one node
+            bad = (heads >= dims2d[fb, fa]) & \
+                (~wrap2d[fb, fa] | (dims2d[fb, fa] == 1))
             if bad.any():
                 i = int(np.flatnonzero(bad)[0])
                 raise ValidationError(
@@ -527,15 +577,16 @@ class FastBatchEngine:
                     f"{int(fa[i])} (batch scenario {int(fb[i])})"
                 )
             gid = view.node_id[fwd_mask] * d_max + fa
-            _, first, counts = np.unique(gid, return_index=True,
-                                         return_counts=True)
+            uniq, first, counts = np.unique(gid, return_index=True,
+                                            return_counts=True)
             gb = fb[first]
-            over = counts > c_j[gb]
+            cap = cap_flat[uniq] if cap_flat is not None else c_j[gb]
+            over = counts > cap
             if over.any():
                 i = int(np.flatnonzero(over)[0])
                 raise CapacityError(
                     f"decision forwards {int(counts[i])} > "
-                    f"c={int(c_j[gb[i]])} on a link "
+                    f"c={int(cap[i])} on a link "
                     f"(batch scenario {int(gb[i])})")
             np.maximum.at(max_link_j, gb, counts)
 

@@ -107,13 +107,21 @@ def _request_arrays(network, reqs):
             network.check_request(r)
         raise AssertionError("check_request accepted a ragged batch")
     ok = ((src >= 0) & (src < dims) & (dst >= 0) & (dst < dims)).all(axis=1)
-    if not ok.all():
-        network.check_request(reqs[int(np.flatnonzero(~ok)[0])])
     arrival = np.array([r.arrival for r in reqs], dtype=np.int64)
     deadline = np.array(
         [_NO_DEADLINE if r.deadline is None else r.deadline for r in reqs],
         dtype=np.int64,
     )
+    # reachability (non-wrapping axes must not decrease) and deadline
+    # feasibility, matching Network.check_request row for row
+    wrap = np.asarray(network.wrap, dtype=bool)
+    if not wrap.all():
+        ok &= (src[:, ~wrap] <= dst[:, ~wrap]).all(axis=1)
+    distance = np.where(wrap, (dst - src) % dims, dst - src).sum(axis=1)
+    ok &= deadline >= arrival + distance
+    if not ok.all():
+        network.check_request(reqs[int(np.flatnonzero(~ok)[0])])
+        raise AssertionError("check_request accepted an invalid request")
     rid = np.array([r.rid for r in reqs], dtype=np.int64)
     return src, dst, arrival, deadline, rid
 
@@ -149,7 +157,8 @@ def greedy_masks(view: StepView, keys) -> VectorDecision:
 
     Per (node, axis) the top ``c`` packets under ``keys`` (most
     significant first; end in ``view.rid`` to make the order total) are
-    forwarded -- 1-bend routing, the first unfinished axis -- and per
+    forwarded -- 1-bend routing, the first unfinished axis, with ``c``
+    read per edge so ``link_caps`` hotspots admit fewer -- and per
     node the top ``B`` leftovers are stored.  Public on purpose: custom
     vector policies (see :mod:`repro.baselines.edd`) build their key
     arrays and delegate the subtle mask construction here, so the
@@ -164,11 +173,12 @@ def greedy_masks(view: StepView, keys) -> VectorDecision:
     ``capacity`` are *per-row* arrays -- the ranking is group-local
     either way, so the same masks come out row for row.
     """
-    togo = view.dst - view.loc
+    togo = view.network.togo_array(view.loc, view.dst)
     axis = np.argmax(togo > 0, axis=1)  # one-bend: first unfinished axis
     fwd_mask, store_mask = kernel.admit(
         view.node_id, axis, view.network.d, keys,
-        view.network.buffer_size, view.network.capacity)
+        view.network.buffer_size,
+        view.network.edge_capacity(view.node_id, axis))
     return VectorDecision(forward=fwd_mask, axis=axis, store=store_mask)
 
 
@@ -267,7 +277,7 @@ class BatchedPolicyAdapter:
 
     def decide_vector(self, view: StepView) -> VectorDecision:
         network = self.network
-        B, c, d = network.buffer_size, network.capacity, network.d
+        B, d = network.buffer_size, network.d
         fwd_mask = np.zeros(view.size, dtype=bool)
         axis_arr = np.zeros(view.size, dtype=np.int64)
         store_mask = np.zeros(view.size, dtype=bool)
@@ -292,12 +302,14 @@ class BatchedPolicyAdapter:
 
             seen: set = set()
             for axis, pkts in decision.forward.items():
+                c = network.capacity_of(node, axis) if 0 <= axis < d \
+                    else network.capacity
                 if len(pkts) > c:
                     raise CapacityError(
                         f"node {node} forwards {len(pkts)} > c={c} on "
                         f"axis {axis}"
                     )
-                head_ok = 0 <= axis < d and node[axis] + 1 < network.dims[axis]
+                head_ok = 0 <= axis < d and network.has_edge(node, axis)
                 if pkts and not head_ok:
                     raise ValidationError(
                         f"node {node} has no outgoing axis {axis}")
@@ -470,6 +482,9 @@ class FastEngine:
             fwd = rem[fwd_mask]
             if fwd.size:
                 loc[fwd, fwd_axis] += 1
+                if network.any_wrap:
+                    # identity on non-wrapping axes (heads were validated)
+                    loc[fwd, fwd_axis] %= dims[fwd_axis]
                 scode[fwd] = _INJECTED
                 stats.forwards += fwd.size
             stored = rem[store_mask]
@@ -523,7 +538,11 @@ class FastEngine:
                     f"vector decision names an axis outside 0..{d - 1}")
             rows = view.index[fwd_mask]
             heads = loc[rows, fwd_axis] + 1
-            bad = heads >= dims[fwd_axis]
+            # an edge exists when the head stays on-grid, or the axis
+            # wraps with more than one node
+            wrap = np.asarray(self.network.wrap, dtype=bool)
+            bad = (heads >= dims[fwd_axis]) & \
+                (~wrap[fwd_axis] | (dims[fwd_axis] == 1))
             if bad.any():
                 i = int(np.flatnonzero(bad)[0])
                 raise ValidationError(
@@ -531,9 +550,17 @@ class FastEngine:
                     f"{int(fwd_axis[i])}"
                 )
             gid = view.node_id[fwd_mask] * d + fwd_axis
-            _, counts = np.unique(gid, return_counts=True)
+            uniq, counts = np.unique(gid, return_counts=True)
             worst = int(counts.max())
-            if worst > c:
+            cap_flat = self.network.capacity_array()
+            if cap_flat is not None:
+                over = counts > cap_flat[uniq]
+                if over.any():
+                    i = int(np.flatnonzero(over)[0])
+                    raise CapacityError(
+                        f"decision forwards {int(counts[i])} > "
+                        f"c={int(cap_flat[uniq[i]])} on a link")
+            elif worst > c:
                 raise CapacityError(f"decision forwards {worst} > c={c} "
                                     f"on a link")
             stats.max_link_load = max(stats.max_link_load, worst)

@@ -81,7 +81,10 @@ class Model2Policy:
 def _check_model2_network(network) -> None:
     if network.d != 1:
         raise ValidationError("Model 2 is defined on lines (d = 1)")
-    if network.capacity != 1:
+    if network.any_wrap:
+        raise ValidationError(
+            "Model 2 requires grid geometry (no wraparound axes)")
+    if network.capacity != 1 or network.min_capacity != 1:
         raise ValidationError("Model 2 is defined for unit link capacity")
 
 
@@ -249,7 +252,9 @@ class FastModel2Engine:
             and getattr(policy, "fast_priority", None)
             in FastEngine.SUPPORTED_PRIORITIES
             and network.d == 1
+            and not network.any_wrap
             and network.capacity == 1
+            and network.min_capacity == 1
         )
 
     def run(self, requests, horizon: int) -> SimulationResult:

@@ -40,8 +40,10 @@ class Request:
     Parameters
     ----------
     source, dest:
-        Coordinate tuples with ``source <= dest`` componentwise (the grid is
-        uni-directional, Section 2.2).
+        Coordinate tuples of equal dimension.  Whether ``dest`` is
+        reachable from ``source`` depends on the network (non-wrapping
+        axes require ``source <= dest``); ``Network.check_request``
+        enforces it.
     arrival:
         Time step ``t_i`` at which the request is revealed and may first be
         injected at ``source``.
@@ -74,21 +76,11 @@ class Request:
             raise ValidationError(
                 f"source {self.source} and dest {self.dest} have different dimensions"
             )
-        if any(s > d for s, d in zip(self.source, self.dest)):
-            raise ValidationError(
-                f"request must satisfy source <= dest componentwise on a "
-                f"uni-directional grid; got {self.source} -> {self.dest}"
-            )
         if self.arrival < 0:
             raise ValidationError(f"arrival must be >= 0, got {self.arrival}")
-        if self.deadline is not None and self.deadline < self.arrival + self.distance:
-            # The paper assumes feasible deadlines: d_i >= t_i + dist(a_i, b_i)
-            # (Section 5.4).  Infeasible requests could never be credited.
-            raise ValidationError(
-                f"infeasible deadline {self.deadline} for request "
-                f"{self.source}->{self.dest} arriving at {self.arrival} "
-                f"(distance {self.distance})"
-            )
+        # Reachability and deadline feasibility depend on the network's
+        # geometry (wrapping axes reach "backward" targets), so those
+        # checks live in Network.check_request, not here.
 
     @classmethod
     def line(cls, source: int, dest: int, arrival: int, deadline: int | None = None, rid: int | None = None) -> "Request":
@@ -97,7 +89,8 @@ class Request:
 
     @property
     def distance(self) -> int:
-        """Hop distance ``dist(a_i, b_i)`` (L1, since the grid is uni-directional)."""
+        """Closed-form hop distance ``dist(a_i, b_i)`` on a non-wrapping
+        grid.  On rings/tori use ``network.dist(r.source, r.dest)``."""
         return sum(d - s for s, d in zip(self.source, self.dest))
 
     @property
@@ -144,6 +137,12 @@ class Packet:
     def dest(self) -> Node:
         return self.request.dest
 
-    def remaining_distance(self) -> int:
-        """Hops left to the destination (nearest-to-go priority key)."""
+    def remaining_distance(self, network=None) -> int:
+        """Hops left to the destination (nearest-to-go priority key).
+
+        Pass the network on wrapping topologies; without it the
+        closed-form grid metric is used.
+        """
+        if network is not None:
+            return network.dist(self.location, self.request.dest)
         return sum(d - x for x, d in zip(self.location, self.request.dest))

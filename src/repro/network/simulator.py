@@ -160,7 +160,8 @@ class Simulator:
                 for axis, pkts in decision.forward.items():
                     stats.max_link_load = max(stats.max_link_load, len(pkts))
                     head = list(node)
-                    head[axis] += 1
+                    head[axis] = (head[axis] + 1) % network.dims[axis] \
+                        if network.wrap[axis] else head[axis] + 1
                     head = tuple(head)
                     for pkt in pkts:
                         handled.add(id(pkt))
@@ -210,11 +211,14 @@ class Simulator:
         cand_ids = {id(p) for p in candidates}
         seen: set = set()
         for axis, pkts in decision.forward.items():
-            if len(pkts) > c:
+            c_edge = self.network.capacity_of(node, axis) \
+                if 0 <= axis < self.network.d else c
+            if len(pkts) > c_edge:
                 raise CapacityError(
-                    f"node {node} forwards {len(pkts)} > c={c} on axis {axis}"
+                    f"node {node} forwards {len(pkts)} > c={c_edge} on axis {axis}"
                 )
-            head_ok = node[axis] + 1 < self.network.dims[axis]
+            head_ok = 0 <= axis < self.network.d and \
+                self.network.has_edge(node, axis)
             if pkts and not head_ok:
                 raise ValidationError(f"node {node} has no outgoing axis {axis}")
             for pkt in pkts:

@@ -152,7 +152,11 @@ class OnlinePathPacking:
 
 
 def _ipp_sketch_requires(network, horizon) -> str | None:
-    return None if network.d == 1 else "targets lines (d = 1)"
+    from repro.network.topology import grid_geometry_reason
+
+    if network.d != 1:
+        return "targets lines (d = 1)"
+    return grid_geometry_reason(network)
 
 
 @register_algorithm(

@@ -65,11 +65,17 @@ def fractional_opt(network: Network, requests, horizon: int,
     Returns the throughput value; with ``return_details=True`` also a per-
     request array of served fractions.
     """
+    if network.any_wrap:
+        # the window construction encodes the closed-form grid metric
+        raise ValidationError(
+            "fractional_opt requires grid geometry (no wraparound axes); "
+            "use throughput_upper_bound on rings and tori"
+        )
     requests = [r for r in requests if r.arrival <= horizon]
     for r in requests:
         network.check_request(r)
     d = network.d
-    B, c = network.buffer_size, network.capacity
+    B = network.buffer_size
 
     # variable layout: per request, per window edge, plus one delivery
     # variable per destination copy.
@@ -128,7 +134,8 @@ def fractional_opt(network: Network, requests, horizon: int,
                 row = nrow
                 cap_row[key] = row
                 nrow += 1
-                rhs_ub.append(B if move == d else c)
+                rhs_ub.append(B if move == d
+                              else network.capacity_of(tail[:-1], move))
             rows.append(row)
             cols.append(base + j)
             data.append(1.0)

@@ -134,13 +134,15 @@ def throughput_upper_bound(network: Network, requests, horizon: int) -> int:
     first_sink = num_st + 2
     dinic = Dinic(first_sink + len(requests))
 
-    B, c = network.buffer_size, network.capacity
+    B = network.buffer_size
     for node in network.nodes():
         base = network.node_index(node) * nt
+        caps = [(axis, nbr, network.capacity_of(node, axis))
+                for axis, nbr in network.out_neighbors(node)]
         for t in range(T):
             if B > 0:
                 dinic.add_edge(base + t, base + t + 1, B)
-            for axis, nbr in network.out_neighbors(node):
+            for axis, nbr, c in caps:
                 dinic.add_edge(base + t, vid(nbr, t + 1), c)
 
     # super-source fan-out, aggregated per source event
@@ -160,7 +162,9 @@ def throughput_upper_bound(network: Network, requests, horizon: int) -> int:
             continue
         sink = first_sink + i
         hi = T if r.deadline is None else min(r.deadline, T)
-        lo = r.arrival + r.distance
+        # network.dist, not the closed-form r.distance: wrapping axes
+        # shorten the earliest possible arrival
+        lo = r.arrival + network.dist(r.source, r.dest)
         for t in range(lo, hi + 1):
             dinic.add_edge(vid(r.dest, t), sink, 1)
         dinic.add_edge(sink, TT, 1)

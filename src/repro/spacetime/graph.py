@@ -99,6 +99,11 @@ class SpaceTimeGraph:
     def __init__(self, network: Network, horizon: int):
         if horizon < 0:
             raise ValidationError(f"horizon must be >= 0, got {horizon}")
+        if network.any_wrap:
+            # the tilt/column construction encodes the closed-form grid
+            # metric; wraparound axes have no consistent column value
+            raise ValidationError(
+                "space-time graph requires grid geometry (no wraparound axes)")
         self.network = network
         self.horizon = int(horizon)
         self.d = network.d
@@ -136,10 +141,15 @@ class SpaceTimeGraph:
         return tuple(head)
 
     def edge_capacity(self, move: int) -> int:
-        """Capacity of an edge of kind ``move`` (uniform per kind)."""
+        """Capacity of an edge of kind ``move`` (uniform per kind).
+
+        Planners use the *minimum* edge capacity: identical on uniform
+        networks, conservative (and hence replay-safe -- the engines
+        enforce true per-edge caps) on heterogeneous ones.
+        """
         if move == self.buffer_move:
             return self.network.buffer_size
-        return self.network.capacity
+        return self.network.min_capacity
 
     def valid_move(self, v: tuple, move: int) -> bool:
         """True when edge ``(v, move)`` exists (head valid and capacity > 0)."""

@@ -86,7 +86,7 @@ class _SketchBase:
         per_edge = (
             self.graph.network.buffer_size
             if axis == self.d
-            else self.graph.network.capacity
+            else self.graph.network.min_capacity
         )
         face = 1
         for other, side in enumerate(self.tiling.sides):
@@ -101,7 +101,7 @@ class _SketchBase:
         ``2 k^2 (B + c)`` at ``d = 1`` (Section 3.4) and
         ``(d+1) k^{d+1} (B + d c)`` in general (Section 6 item (3))."""
         B = self.graph.network.buffer_size
-        c = self.graph.network.capacity
+        c = self.graph.network.min_capacity
         return (self.d + 1) * math.prod(self.tiling.sides) * (B + self.d * c)
 
     # -- sinks ------------------------------------------------------------------

@@ -6,6 +6,7 @@ from repro.workloads.poisson import poisson_requests
 from repro.workloads.bursty import bursty_requests
 from repro.workloads.permutation import permutation_requests
 from repro.workloads.deadline import with_deadlines, deadline_requests
+from repro.workloads.hotspot import hotspot_requests
 from repro.workloads.adversarial import (
     clogging_instance,
     dense_area_instance,
@@ -20,6 +21,7 @@ __all__ = [
     "dense_area_instance",
     "distance_cascade_instance",
     "grid_crossfire_instance",
+    "hotspot_requests",
     "permutation_requests",
     "poisson_requests",
     "uniform_requests",

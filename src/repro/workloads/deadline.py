@@ -9,19 +9,28 @@ from repro.util.rng import as_generator
 from repro.workloads.uniform import uniform_requests
 
 
-def with_deadlines(requests, slack: int, rng=None, jitter: int = 0) -> list:
+def with_deadlines(requests, slack: int, rng=None, jitter: int = 0,
+                   network: Network | None = None) -> list:
     """Copy ``requests`` with deadlines ``t_i + dist + slack (+- jitter)``.
 
     ``slack = 0`` forces delivery along a shortest schedule (no buffering
     allowed anywhere); larger slack admits buffering.
+
+    ``network`` selects the distance metric: when given, ``network.dist``
+    is used (required for wraparound topologies, where the closed-form
+    coordinate difference overstates the distance); otherwise the
+    closed-form ``r.distance`` applies.  On dominating draws over
+    non-wrapping axes the two agree, so omitting ``network`` is safe for
+    the built-in grid workloads.
     """
     rng = as_generator(rng)
     out = []
     for r in requests:
         extra = slack if jitter == 0 else slack + int(rng.integers(0, jitter + 1))
+        dist = r.distance if network is None else network.dist(r.source, r.dest)
         out.append(
             Request(r.source, r.dest, r.arrival,
-                    deadline=r.arrival + r.distance + extra, rid=r.rid)
+                    deadline=r.arrival + dist + extra, rid=r.rid)
         )
     return out
 
@@ -36,4 +45,4 @@ def deadline_requests(network: Network, num: int, horizon: int, slack: int,
     """Uniform requests with feasible deadlines of the given slack."""
     rng = as_generator(rng)
     base = uniform_requests(network, num, horizon, rng)
-    return with_deadlines(base, slack, rng, jitter)
+    return with_deadlines(base, slack, rng, jitter, network=network)

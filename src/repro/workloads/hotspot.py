@@ -1,0 +1,77 @@
+"""Hotspot workload: funnel traffic across a single hot link.
+
+Every request crosses the axis-0 edge whose tail sits at the middle of the
+axis (``m = (l - 1) // 2``, off-axis coordinates 0).  Sources are drawn up
+to ``span`` hops behind the hot tail, destinations up to ``span`` hops past
+the hot head, so the per-step demand on the hot link is roughly
+``num / horizon`` regardless of its capacity.  Combined with a
+``link_caps`` override on that edge this exercises per-edge capacity
+enforcement: the hot link saturates while the rest of the network idles.
+
+On wrapping axes (rings, tori) the offsets are taken modulo the axis
+length, so the workload is well-defined on every registered topology; on
+non-wrapping axes the span is clamped so draws stay inside the grid.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import register_workload
+from repro.network.packet import Request
+from repro.network.topology import Network
+from repro.util.errors import ValidationError
+from repro.util.rng import as_generator
+
+
+def hot_edge(network: Network) -> tuple:
+    """The ``(tail, axis)`` of the workload's hot link (axis 0, middle of
+    the axis, off-axis coordinates 0)."""
+    l = network.dims[0]
+    m = (l - 1) // 2
+    tail = (m,) + (0,) * (network.d - 1)
+    return tail, 0
+
+
+@register_workload(
+    "hotspot",
+    description="all requests cross one middle axis-0 edge (sources up to "
+    "span hops behind it, destinations up to span hops past it); pair with "
+    "link_caps on that edge to stress per-edge capacity",
+)
+def hotspot_requests(network: Network, num: int, horizon: int, rng=None,
+                     span: int = 2) -> list:
+    """``num`` requests that all traverse the hot edge of ``network``.
+
+    Each request's source lies ``back in [0, span]`` hops before the hot
+    tail along axis 0 and its destination ``fwd in [0, span]`` hops past
+    the hot head; arrivals are uniform in ``[0, horizon)``.  Offsets wrap
+    on wrapping axes and are clamped to the grid otherwise.
+    """
+    if span < 0:
+        raise ValidationError(f"span must be >= 0, got {span}")
+    rng = as_generator(rng)
+    l = network.dims[0]
+    if l < 2:
+        raise ValidationError(
+            f"hotspot workload needs axis 0 length >= 2, got {l}")
+    (m, *rest), axis = hot_edge(network)
+    wrap0 = network.wrap[axis]
+    if wrap0:
+        # keep src strictly behind dst around the ring: back + fwd <= l - 2
+        max_back = min(span, l - 2)
+    else:
+        max_back = min(span, m)
+    out = []
+    for _ in range(num):
+        back = int(rng.integers(0, max_back + 1))
+        if wrap0:
+            max_fwd = min(span, l - 2 - back)
+        else:
+            max_fwd = min(span, l - 2 - m)
+        fwd = int(rng.integers(0, max_fwd + 1))
+        s0 = (m - back) % l if wrap0 else m - back
+        d0 = (m + 1 + fwd) % l if wrap0 else m + 1 + fwd
+        src = (s0, *rest)
+        dst = (d0, *rest)
+        t = int(rng.integers(0, max(1, horizon)))
+        out.append(Request(src, dst, t))
+    return out

@@ -17,7 +17,10 @@ runs, with identical cache accounting, plus (PR 8) the step-kernel
 dimension: reference == fast == batch under every available kernel
 backend (``numpy`` always, ``numba`` when installed), with the selected
 backend actually recorded in ``meta["kernel"]`` -- the no-silent-fallback
-assert, mirroring the PR-4 adapter check.
+assert, mirroring the PR-4 adapter check, plus (PR 9) the topology
+family: ring/torus/uniline networks and per-edge ``link_caps`` hotspot
+instances enter every strategy, so the bit-identity net now covers
+wraparound movement and per-edge capacity enforcement.
 
 A failure here means the cache would serve wrong results -- fix the
 engine divergence before touching the cache.
@@ -70,25 +73,35 @@ def assert_reports_identical(a, b, context: str) -> None:
 
 @st.composite
 def networks(draw):
-    if draw(st.booleans()):
-        n = draw(st.integers(4, 12))
-        dims = (n,)
-        kind = "line"
-    else:
+    kind = draw(st.sampled_from(("line", "grid", "ring", "uniline", "torus")))
+    if kind == "grid" or kind == "torus":
         side = draw(st.integers(3, 5))
         dims = (side, side)
-        kind = "grid"
+    else:
+        n = draw(st.integers(4, 12))
+        dims = (n,)
     B = draw(st.sampled_from((0, 1, 2, 3)))
     c = draw(st.integers(1, 3))
-    return NetworkSpec(kind, dims, buffer_size=B, capacity=c)
+    link_caps = ()
+    if draw(st.booleans()):
+        # a hotspot override on the middle axis-0 edge (always present on
+        # every registered topology for these sizes)
+        tail = ((dims[0] - 1) // 2,) + (0,) * (len(dims) - 1)
+        link_caps = ((tail, 0, draw(st.integers(1, 3))),)
+    return NetworkSpec(kind, dims, buffer_size=B, capacity=c,
+                       link_caps=link_caps)
 
 
 @st.composite
 def workloads(draw, horizon: int):
     name = draw(st.sampled_from(
-        ("uniform", "poisson", "bursty", "permutation", "deadline")))
+        ("uniform", "poisson", "bursty", "permutation", "deadline",
+         "hotspot")))
     if name == "uniform":
         params = {"num": draw(st.integers(1, 30)), "horizon": horizon}
+    elif name == "hotspot":
+        params = {"num": draw(st.integers(1, 20)), "horizon": horizon,
+                  "span": draw(st.integers(0, 2))}
     elif name == "poisson":
         params = {"rate": draw(st.sampled_from((0.3, 1.0, 2.5))),
                   "horizon": horizon}

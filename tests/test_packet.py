@@ -3,6 +3,7 @@
 import pytest
 
 from repro.network.packet import DeliveryStatus, Packet, Request
+from repro.network.topology import GridNetwork, LineNetwork, RingNetwork
 from repro.util.errors import ValidationError
 
 
@@ -46,17 +47,31 @@ class TestRequestConstruction:
 
 
 class TestRequestValidation:
-    def test_rejects_backward_line(self):
-        with pytest.raises(ValidationError):
-            Request.line(5, 2, 0)
+    # Reachability and deadline feasibility are topology-dependent (a
+    # "backward" pair is routable on a ring), so they live in
+    # Network.check_request; the constructor keeps only shape checks.
+
+    def test_backward_line_constructs_but_fails_check(self):
+        r = Request.line(5, 2, 0)
+        with pytest.raises(ValidationError, match="no directed path"):
+            LineNetwork(8, 1, 1).check_request(r)
+
+    def test_backward_pair_is_valid_on_a_ring(self):
+        r = Request.line(5, 2, 0)
+        RingNetwork(8, 1, 1).check_request(r)  # wraps: distance 5
 
     def test_rejects_backward_grid_component(self):
-        with pytest.raises(ValidationError):
-            Request((0, 5), (3, 2), 0)
+        r = Request((0, 5), (3, 2), 0)
+        with pytest.raises(ValidationError, match="no directed path"):
+            GridNetwork((6, 6), 1, 1).check_request(r)
 
     def test_rejects_dim_mismatch(self):
         with pytest.raises(ValidationError):
             Request((0,), (1, 1), 0)
+
+    def test_check_request_rejects_dim_mismatch(self):
+        with pytest.raises(ValidationError):
+            LineNetwork(8, 1, 1).check_request(Request((1, 1), (2, 2), 0))
 
     def test_rejects_negative_arrival(self):
         with pytest.raises(ValidationError):
@@ -64,12 +79,19 @@ class TestRequestValidation:
 
     def test_rejects_infeasible_deadline(self):
         # deadline before arrival + distance can never be met (Section 5.4)
-        with pytest.raises(ValidationError):
-            Request.line(0, 5, 2, deadline=4)
+        r = Request.line(0, 5, 2, deadline=4)
+        with pytest.raises(ValidationError, match="infeasible deadline"):
+            LineNetwork(8, 1, 1).check_request(r)
 
     def test_accepts_tight_feasible_deadline(self):
         r = Request.line(0, 5, 2, deadline=7)
+        LineNetwork(8, 1, 1).check_request(r)
         assert r.deadline == 7
+
+    def test_wrap_shortens_deadline_feasibility(self):
+        # 6 -> 1 on an 8-ring is 3 hops, so deadline 3 is feasible there
+        r = Request.line(6, 1, 0, deadline=3)
+        RingNetwork(8, 1, 1).check_request(r)
 
     def test_rejects_garbage_node(self):
         with pytest.raises(ValidationError):

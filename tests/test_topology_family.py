@@ -1,0 +1,217 @@
+"""Topology-family tests: wraparound geometry against a BFS oracle,
+per-edge capacities, and the spec-layer validation that guards them."""
+
+import json
+from collections import deque
+
+import pytest
+
+from repro.api import ALGORITHMS, NetworkSpec
+from repro.network.packet import Request
+from repro.network.topology import (
+    GridNetwork,
+    LineNetwork,
+    Network,
+    RingNetwork,
+    TorusNetwork,
+    grid_geometry_reason,
+)
+from repro.util.errors import ValidationError
+from repro.workloads import hotspot_requests
+from repro.workloads.hotspot import hot_edge
+
+
+def bfs_dist(network: Network, src: tuple) -> dict:
+    """Directed BFS distances from ``src`` using only ``out_neighbors``."""
+    dist = {src: 0}
+    dq = deque([src])
+    while dq:
+        u = dq.popleft()
+        for _axis, v in network.out_neighbors(u):
+            if v not in dist:
+                dist[v] = dist[u] + 1
+                dq.append(v)
+    return dist
+
+
+ORACLE_NETWORKS = [
+    TorusNetwork((3, 4), 1, 1),
+    TorusNetwork((4, 4), 2, 2),
+    RingNetwork(5, 1, 1),
+    RingNetwork(6, 2, 1),
+    LineNetwork(5, 1, 1),
+    GridNetwork((3, 3), 1, 1),
+]
+
+
+class TestBFSOracle:
+    @pytest.mark.parametrize("network", ORACLE_NETWORKS, ids=repr)
+    def test_dist_matches_bfs(self, network):
+        for src in network.nodes():
+            oracle = bfs_dist(network, src)
+            for dst in network.nodes():
+                if dst in oracle:
+                    assert network.dist(src, dst) == oracle[dst], (src, dst)
+                else:
+                    with pytest.raises(ValidationError):
+                        network.dist(src, dst)
+
+    @pytest.mark.parametrize("network", ORACLE_NETWORKS, ids=repr)
+    def test_out_neighbors_match_edges(self, network):
+        from_edges = {}
+        for e in network.edges():
+            from_edges.setdefault(e.tail, []).append((e.axis, e.head))
+        for node in network.nodes():
+            assert sorted(network.out_neighbors(node)) == sorted(
+                from_edges.get(node, [])), node
+
+    @pytest.mark.parametrize("network", ORACLE_NETWORKS, ids=repr)
+    def test_num_edges_matches_enumeration(self, network):
+        assert network.num_edges() == len(list(network.edges()))
+
+    def test_ring_wraps_odd_and_even(self):
+        assert RingNetwork(5, 1, 1).dist((4,), (0,)) == 1
+        assert RingNetwork(5, 1, 1).dist((1,), (0,)) == 4
+        assert RingNetwork(6, 1, 1).dist((3,), (2,)) == 5
+
+    def test_torus_seam_distance(self):
+        net = TorusNetwork((3, 4), 1, 1)
+        assert net.dist((2, 3), (0, 0)) == 2  # one seam hop per axis
+
+    def test_uniline_is_a_line(self):
+        line = LineNetwork(5, 1, 1)
+        assert not line.any_wrap
+        with pytest.raises(ValidationError):
+            line.dist((3,), (1,))
+
+
+class TestPerEdgeCapacity:
+    def test_capacity_of_defaults_to_scalar(self):
+        net = GridNetwork((3, 3), 1, 2)
+        assert net.capacity_of((0, 0), 1) == 2
+        assert net.min_capacity == 2
+        assert net.capacity_array() is None
+
+    def test_link_caps_override_and_min(self):
+        net = RingNetwork(6, 1, 3, link_caps={((2,), 0): 1})
+        assert net.capacity_of((2,), 0) == 1
+        assert net.capacity_of((3,), 0) == 3
+        assert net.min_capacity == 1
+        flat = net.capacity_array()
+        assert flat is not None and flat[2] == 1 and flat[3] == 3
+
+    def test_min_capacity_when_overrides_cover_all_edges(self):
+        # every edge overridden above the scalar: the scalar no longer binds
+        net = RingNetwork(3, 1, 1,
+                          link_caps={((i,), 0): 2 for i in range(3)})
+        assert net.min_capacity == 2
+
+    def test_rejects_cap_on_missing_edge(self):
+        with pytest.raises(ValidationError):
+            LineNetwork(4, 1, 1, link_caps={((3,), 0): 2})  # no edge 3 -> 4
+
+    def test_rejects_nonpositive_cap(self):
+        with pytest.raises(ValidationError):
+            LineNetwork(4, 1, 1, link_caps={((0,), 0): 0})
+
+    def test_rejects_bad_axis(self):
+        with pytest.raises(ValidationError):
+            LineNetwork(4, 1, 1, link_caps={((0,), 1): 2})
+
+    def test_unavailable_reports_min_edge_capacity(self):
+        # B, c satisfy det's floor, but one weak link drops min_capacity
+        net = GridNetwork((4, 4), 3, 3, link_caps={((0, 0), 0): 1})
+        entry = ALGORITHMS.get("det")
+        reason = entry.unavailable(net, 64)
+        assert reason is not None and "B, c >= 3" in reason
+        uniform = GridNetwork((4, 4), 3, 3)
+        assert entry.unavailable(uniform, 64) is None
+
+    def test_grid_only_algorithms_unavailable_on_wrap(self):
+        net = RingNetwork(8, 3, 3)
+        for name in ("det", "bufferless", "theorem13", "rand"):
+            reason = ALGORITHMS.get(name).unavailable(net, 64)
+            assert reason is not None and "wraparound" in reason, name
+        assert grid_geometry_reason(net) is not None
+        assert grid_geometry_reason(LineNetwork(8, 3, 3)) is None
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("dims", ["", "8x", "x8", "0x8", " 8", "8 x8",
+                                      "-4", "4x-4", "a", "3.5"])
+    def test_malformed_dims_raise_cleanly(self, dims):
+        with pytest.raises(ValidationError) as exc:
+            NetworkSpec.parse(dims)
+        assert repr(dims) in str(exc.value) or str(dims) in str(exc.value)
+
+    @pytest.mark.parametrize("field, value", [
+        ("buffer_size", "3"), ("buffer_size", 1.5), ("buffer_size", True),
+        ("buffer_size", -1), ("capacity", "2"), ("capacity", 0),
+        ("capacity", None), ("capacity", False),
+    ])
+    def test_wrong_typed_scalars_raise(self, field, value):
+        payload = {"kind": "line", "dims": [8],
+                   "buffer_size": 1, "capacity": 1}
+        payload[field] = value
+        with pytest.raises(ValidationError) as exc:
+            NetworkSpec.from_dict(payload)
+        assert field in str(exc.value)
+
+    def test_parse_kind_override(self):
+        spec = NetworkSpec.parse("8", 2, 2, kind="ring")
+        assert spec.kind == "ring"
+        assert spec.build().any_wrap
+
+    def test_default_kinds(self):
+        assert NetworkSpec.parse("8").kind == "line"
+        assert NetworkSpec.parse("4x4").kind == "grid"
+
+    def test_torus_spec_round_trips(self):
+        spec = NetworkSpec("torus", (4, 4), 2, 2,
+                           link_caps=(((1, 0), 0, 1),))
+        data = json.loads(json.dumps(spec.to_dict()))
+        again = NetworkSpec.from_dict(data)
+        assert again == spec
+        net = again.build()
+        assert net.capacity_of((1, 0), 0) == 1 and net.any_wrap
+
+    def test_link_caps_absent_from_plain_spec_dict(self):
+        # digest stability: pre-existing specs keep their serialised form
+        d = NetworkSpec("grid", (4, 4), 1, 1).to_dict()
+        assert "link_caps" not in d
+        k = NetworkSpec("grid", (4, 4), 1, 1).key()
+        assert "link_caps" not in str(k)
+
+    def test_link_caps_rejects_duplicates_and_junk(self):
+        with pytest.raises(ValidationError):
+            NetworkSpec("line", (8,), 1, 1,
+                        link_caps=(((0,), 0, 2), ((0,), 0, 3)))
+        with pytest.raises(ValidationError):
+            NetworkSpec("line", (8,), 1, 1, link_caps="nope")
+
+
+class TestHotspotWorkload:
+    def test_all_requests_cross_the_hot_edge(self):
+        for net in (LineNetwork(9, 1, 1), RingNetwork(8, 1, 1),
+                    TorusNetwork((5, 4), 1, 1)):
+            (tail, axis) = hot_edge(net)
+            m = tail[0]
+            reqs = hotspot_requests(net, 50, 32, rng=7, span=2)
+            assert len(reqs) == 50
+            for r in reqs:
+                net.check_request(r)
+                # walking axis 0 from the source passes the hot tail
+                l = net.dims[0]
+                steps = ((r.dest[0] - r.source[0]) % l if net.wrap[0]
+                         else r.dest[0] - r.source[0])
+                passed = {(r.source[0] + k) % l for k in range(steps)}
+                assert m in passed, r
+
+    def test_span_zero_pins_endpoints(self):
+        net = LineNetwork(9, 1, 1)
+        reqs = hotspot_requests(net, 10, 16, rng=0, span=0)
+        assert {(r.source[0], r.dest[0]) for r in reqs} == {(4, 5)}
+
+    def test_rejects_tiny_axis(self):
+        with pytest.raises(ValidationError):
+            hotspot_requests(LineNetwork(1, 1, 1), 4, 8, rng=0)
