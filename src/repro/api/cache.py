@@ -158,13 +158,18 @@ class ResultCache:
         return (self.root / f"v{SCHEMA_VERSION}"
                 / f"{scenario.digest():08x}.json")
 
-    def load(self, scenario, require_bound: bool = True):
+    def load(self, scenario, require_bound: bool = True,
+             bound_method: str = "maxflow"):
         """Return the cached :class:`RunReport` for ``scenario``, or ``None``.
 
         ``require_bound=False`` accepts entries whose offline bound was
         skipped (``compute_bound=False`` runs); the default insists on a
         finite bound so bound-skipping producers cannot starve
-        bound-needing consumers.
+        bound-needing consumers.  When a bound is required it must have
+        been produced by ``bound_method`` (``meta["bound_method"]``;
+        entries written before the field existed count as ``"maxflow"``)
+        -- a report bounded by max-flow must never replay for a ``"cd"``
+        request.
         """
         import math
 
@@ -198,6 +203,10 @@ class ResultCache:
         if require_bound and not math.isfinite(report.bound):
             self.stats.misses += 1
             return None
+        if require_bound and \
+                report.meta.get("bound_method", "maxflow") != bound_method:
+            self.stats.misses += 1
+            return None
         self.stats.hits += 1
         # rebind to the *requested* scenario (it may name another engine);
         # report.engine keeps naming the engine that produced the numbers
@@ -211,25 +220,31 @@ class ResultCache:
         self._write(path, payload)
         self.stats.stores += 1
 
-    def bound_path(self, scenario) -> pathlib.Path:
+    def bound_path(self, scenario, method: str = "maxflow") -> pathlib.Path:
+        # the method joins the filename so "cd" and "maxflow" entries can
+        # never collide; "maxflow" keeps the legacy method-less name, so
+        # stores warmed before the method existed stay warm
+        tag = "" if method == "maxflow" else f"{method}_"
         return (self.root / f"v{SCHEMA_VERSION}"
-                / f"bound_{scenario.seed}_{scenario.instance_digest():08x}.json")
+                / f"bound_{tag}{scenario.seed}_"
+                  f"{scenario.instance_digest():08x}.json")
 
-    def load_bound(self, scenario) -> float | None:
-        """Return the cached offline bound for ``scenario``'s instance,
-        or ``None``.
+    def load_bound(self, scenario, method: str = "maxflow") -> float | None:
+        """Return the cached ``method`` offline bound for ``scenario``'s
+        instance, or ``None``.
 
         The entry is algorithm-independent: any scenario sharing the
         ``(seed, instance)`` pair hits it.  A digest collision, schema
-        mismatch, or non-finite value degrades to ``None`` (recompute),
-        never to a wrong bound.  Counted in :attr:`stats` as
-        ``bound_hits``/``bound_misses`` (the tier the queue's ``status``
-        metrics surface); :func:`repro.api.run._instance_bound` is the
-        single caller and guarantees one event per executed scenario.
+        mismatch, method mismatch, or non-finite value degrades to
+        ``None`` (recompute), never to a wrong bound.  Counted in
+        :attr:`stats` as ``bound_hits``/``bound_misses`` (the tier the
+        queue's ``status`` metrics surface);
+        :func:`repro.api.run._instance_bound` is the single caller and
+        guarantees one event per executed scenario.
         """
         import math
 
-        path = self.bound_path(scenario)
+        path = self.bound_path(scenario, method)
         try:
             payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError, UnicodeDecodeError):
@@ -237,7 +252,8 @@ class ResultCache:
             return None
         bound = None
         if isinstance(payload, dict) \
-                and payload.get("schema") == SCHEMA_VERSION:
+                and payload.get("schema") == SCHEMA_VERSION \
+                and payload.get("method", "maxflow") == method:
             # collision guard: compare the full instance key through a JSON
             # round-trip (tuples become lists on disk)
             expected = json.loads(json.dumps(
@@ -250,14 +266,16 @@ class ResultCache:
         self.stats.bound_hits += 1
         return float(bound)
 
-    def store_bound(self, scenario, bound: float) -> None:
+    def store_bound(self, scenario, bound: float,
+                    method: str = "maxflow") -> None:
         payload = {
             "schema": SCHEMA_VERSION,
             "kind": "offline-bound",
+            "method": method,
             "instance": [scenario.seed, scenario.instance_key()],
             "bound": float(bound),
         }
-        self._write(self.bound_path(scenario), payload)
+        self._write(self.bound_path(scenario, method), payload)
 
     def _write(self, path: pathlib.Path, payload: dict) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -191,7 +191,8 @@ def load_manifest(source) -> dict:
 
 def run_shard(manifest, out=None, *, workers: int | None = None,
               cache: str | None = None, cache_dir=None,
-              compute_bound: bool = True) -> BatchResult:
+              compute_bound: bool = True,
+              bound_method: str = "maxflow") -> BatchResult:
     """Execute one shard manifest via :func:`run_batch`.
 
     ``manifest`` is a dict from :func:`plan_shards` or a path to one
@@ -216,7 +217,8 @@ def run_shard(manifest, out=None, *, workers: int | None = None,
     scenarios = [Scenario.from_dict(item["scenario"])
                  for item in manifest["scenarios"]]
     reports = run_batch(scenarios, workers=workers, cache=cache,
-                        cache_dir=cache_dir, compute_bound=compute_bound)
+                        cache_dir=cache_dir, compute_bound=compute_bound,
+                        bound_method=bound_method)
     if out is not None:
         write_shard_result(manifest, reports, out)
     return reports

@@ -266,12 +266,24 @@ class WorkQueue:
                 raise
         return None
 
-    def heartbeat(self, chunk: str, worker: str, *, clock=time.time) -> None:
-        """Refresh ``worker``'s lease on ``chunk`` (atomic rewrite)."""
+    def heartbeat(self, chunk: str, worker: str, *, clock=time.time) -> bool:
+        """Refresh ``worker``'s lease on ``chunk`` (atomic rewrite).
+
+        Returns ``True`` when the lease was refreshed.  When the lease
+        is gone or held by *another* worker -- this worker's claim was
+        falsely expired, requeued, and possibly reclaimed -- the call is
+        a no-op returning ``False``: rewriting would stomp the new
+        claimant's lease, corrupting ``status`` ownership lines and
+        resetting its expiry clock.  A heartbeat thread should stand
+        down for good on ``False`` (see
+        :meth:`repro.api.service.QueueWorker._start_heartbeat`).
+        """
         lease = self._read_lease(chunk)
-        claimed_at = lease.get("claimed_at") if lease else None
-        self._write_lease(chunk, worker, claimed_at=claimed_at,
+        if lease is None or lease.get("worker") != worker:
+            return False
+        self._write_lease(chunk, worker, claimed_at=lease.get("claimed_at"),
                           heartbeat_at=float(clock()))
+        return True
 
     def complete(self, manifest: dict, reports) -> pathlib.Path:
         """Record a finished chunk: atomic result write, then cleanup.
@@ -312,7 +324,11 @@ class WorkQueue:
         missing lease file (death inside the claim window, which is
         microseconds wide) counts as expired immediately -- requeueing a
         live worker's chunk is safe, merely wasteful (see the module
-        docstring).
+        docstring).  A *future-dated* heartbeat (the wall clock stepped
+        backwards between the write and this read) also counts as
+        expired: trusting it would hold a dead worker's lease alive past
+        any TTL, and torn/backwards == stale is the documented safe
+        direction.
         """
         requeued = []
         now = float(clock())
@@ -323,7 +339,7 @@ class WorkQueue:
                 self._remove(self.leases_dir / f"{chunk}.json")
                 continue
             lease = self._read_lease(chunk)
-            if lease is not None and now - lease["heartbeat_at"] <= ttl:
+            if lease is not None and 0 <= now - lease["heartbeat_at"] <= ttl:
                 continue
             try:
                 os.rename(path, self.pending_dir / path.name)
@@ -369,7 +385,9 @@ class WorkQueue:
             if chunk in done:
                 continue  # finished, cleanup pending
             lease = self._read_lease(chunk)
-            if lease is None or now - lease["heartbeat_at"] > ttl:
+            # a future-dated heartbeat (backwards clock step) is expired,
+            # matching requeue_expired -- never report it as live forever
+            if lease is None or not 0 <= now - lease["heartbeat_at"] <= ttl:
                 status.chunks_expired += 1
             else:
                 status.chunks_active += 1

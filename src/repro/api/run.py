@@ -51,23 +51,37 @@ class ScenarioError(ValidationError):
     """A scenario names an algorithm that cannot run on its network."""
 
 
-#: per-process memo of offline bounds keyed by (seed, instance key) --
+#: per-process memo of offline bounds keyed by (method, seed, instance key) --
 #: the bound is a pure function of the instance, and comparing k algorithms
 #: on one instance would otherwise recompute the same max-flow k times.
 #: Keys use the exact tuple, not the 32-bit digest (which is for seeding,
 #: not identity: a crc collision here would serve a wrong bound)
 _bound_cache: dict = {}
 
-#: (cache root or None, writes enabled, call-scoped memo or None) -- the
-#: on-disk tier below the memo.  Module state rather than an ``_execute``
-#: parameter so the worker entry point and every monkeypatched
-#: ``_execute`` keep their signatures; set via :func:`_bound_io` in the
-#: parent and from the chunk args in workers.
-_BOUND_IO: tuple = (None, False, None)
+#: the accepted offline-bound surrogates (mirrors
+#: ``repro.baselines.offline.BOUND_METHODS``, which stays the single
+#: enforcement point; duplicated here so run/run_batch/CLI can validate
+#: without importing the heavy bound modules)
+BOUND_METHODS = ("maxflow", "cd", "lp", "exact")
+
+#: (cache root or None, writes enabled, call-scoped memo or None, bound
+#: method) -- the on-disk tier below the memo.  Module state rather than
+#: an ``_execute`` parameter so the worker entry point and every
+#: monkeypatched ``_execute`` keep their signatures; set via
+#: :func:`_bound_io` in the parent and from the chunk args in workers.
+_BOUND_IO: tuple = (None, False, None, "maxflow")
+
+
+def _check_bound_method(method: str) -> str:
+    if method not in BOUND_METHODS:
+        raise ValidationError(
+            f"unknown offline bound {method!r}; choose one of {BOUND_METHODS}"
+        )
+    return method
 
 
 @contextmanager
-def _bound_io(store, mode: str):
+def _bound_io(store, mode: str, method: str = "maxflow"):
     """Scope the on-disk bound cache to one run/run_batch call.
 
     With a store present the memo is *call-scoped* (a fresh dict per
@@ -76,11 +90,15 @@ def _bound_io(store, mode: str):
     directory alone, never of what earlier calls in this process happened
     to compute -- that determinism is what lets the dispatch and queue
     layers assert cache-stat equality against the serial run.
+
+    ``method`` names the offline-bound surrogate for the scope; it joins
+    every memo and on-disk key, so ``"cd"`` and ``"maxflow"`` values can
+    never shadow each other.
     """
     global _BOUND_IO
     previous = _BOUND_IO
-    _BOUND_IO = (store, mode == "readwrite", {}) if store is not None \
-        else (None, False, None)
+    _BOUND_IO = (store, mode == "readwrite", {}, method) if store is not None \
+        else (None, False, None, method)
     try:
         yield
     finally:
@@ -88,8 +106,8 @@ def _bound_io(store, mode: str):
 
 
 def _instance_bound(scenario: Scenario, network, requests) -> float:
-    key = (scenario.seed, scenario.instance_key())
-    store, write, memo = _BOUND_IO
+    store, write, memo, method = _BOUND_IO
+    key = (method, scenario.seed, scenario.instance_key())
     if store is None:
         value = _bound_cache.get(key)
         if value is not None:
@@ -100,13 +118,14 @@ def _instance_bound(scenario: Scenario, network, requests) -> float:
         if value is not None:
             store.stats.bound_hits += 1
             return value
-        value = store.load_bound(scenario)  # counts bound_hits/misses
+        value = store.load_bound(scenario, method)  # counts bound_hits/misses
     if value is None:
         from repro.baselines.offline import offline_bound  # heavy; import late
 
-        value = float(offline_bound(network, requests, scenario.horizon))
+        value = float(offline_bound(network, requests, scenario.horizon,
+                                    method=method))
         if store is not None and write:
-            store.store_bound(scenario, value)
+            store.store_bound(scenario, value, method)
     if memo is not None:
         memo[key] = value
     if len(_bound_cache) > 4096:
@@ -122,13 +141,21 @@ def _jsonable(value):
     objects); a :class:`RunReport` must compare equal to its own
     cache-replayed copy, so ``meta`` keeps only JSON-representable data
     -- tuples become lists, non-representable objects are dropped.
+
+    Dict keys: JSON objects only have string keys, so int and bool keys
+    (router histograms, per-tile counters) are coerced with ``str()``
+    rather than dropped -- dropping them would erase the counter on
+    *both* sides of the live-vs-replay comparison and hide the loss from
+    the equality check.  Other key types still drop the entry.
     """
     if isinstance(value, (str, int, float, bool)) or value is None:
         return value
     if isinstance(value, dict):
         out = {}
         for k, v in value.items():
-            if not isinstance(k, str):
+            if isinstance(k, (bool, int)):
+                k = str(k)  # deterministic: 5 -> "5", True -> "True"
+            elif not isinstance(k, str):
                 continue
             v = _jsonable(v)
             if v is not _DROP:
@@ -203,8 +230,16 @@ class RunReport:
 
     @property
     def goodput(self) -> float:
-        """Fraction of the offline bound achieved."""
-        return self.throughput / self.bound if self.bound > 0 else 1.0
+        """Fraction of the offline bound achieved.
+
+        A zero bound with positive throughput reports ``inf``, not 1.0:
+        delivering packets against a bound that claims nothing was
+        deliverable means the bound is broken, and the signal must be
+        loud rather than masquerading as a perfect score.
+        """
+        if self.bound > 0:
+            return self.throughput / self.bound
+        return math.inf if self.throughput > 0 else 1.0
 
     def to_dict(self) -> dict:
         return {
@@ -318,6 +353,10 @@ def _execute(scenario: Scenario, compute_bound: bool) -> RunReport:
     # kernels are bit-identical by contract, so the digest excludes this
     # exactly like it excludes the engine
     meta["kernel"] = kernel.active_kernel()
+    if compute_bound:
+        # which surrogate the bound column divides by -- cache replays
+        # must only serve reports whose bound method matches the request
+        meta["bound_method"] = _BOUND_IO[3]
 
     return RunReport(
         scenario=scenario,
@@ -338,7 +377,8 @@ def _execute(scenario: Scenario, compute_bound: bool) -> RunReport:
 
 
 def run(scenario: Scenario, *, cache: str | None = None,
-        compute_bound: bool = True) -> RunReport:
+        compute_bound: bool = True,
+        bound_method: str = "maxflow") -> RunReport:
     """Run one scenario and measure it against the offline bound.
 
     Raises :class:`ScenarioError` when the algorithm's registered
@@ -346,16 +386,21 @@ def run(scenario: Scenario, *, cache: str | None = None,
     and lets genuine algorithm bugs propagate.
 
     ``cache`` selects the result-cache mode (see :mod:`repro.api.cache`);
-    ``compute_bound=False`` skips the (max-flow) offline bound and reports
+    ``compute_bound=False`` skips the offline bound and reports
     ``bound=nan`` -- for timing comparisons and bound-free audits.
+    ``bound_method`` picks the surrogate the bound column divides by
+    (one of :data:`BOUND_METHODS`); it is recorded in
+    ``meta["bound_method"]`` and joins every bound-cache key.
     """
+    _check_bound_method(bound_method)
     mode, store = _open_cache(cache, None)
     if store is not None:
-        report = store.load(scenario, require_bound=compute_bound)
+        report = store.load(scenario, require_bound=compute_bound,
+                            bound_method=bound_method)
         if report is not None:
             store.flush_stats()
             return report
-    with _bound_io(store, mode):
+    with _bound_io(store, mode, bound_method):
         report = _execute(scenario, compute_bound)
     if store is not None:
         if mode == "readwrite":
@@ -384,10 +429,12 @@ def _run_chunk(args) -> tuple:
     when the parent activated a kernel programmatically
     (:func:`repro.network.kernel.using`) and the pool start method does
     not inherit process state (spawn)."""
-    scenarios, compute_bound, bound_root, bound_write, kernel_name = args
+    (scenarios, compute_bound, bound_root, bound_write, kernel_name,
+     bound_method) = args
     kernel.activate(kernel_name)
     store = ResultCache(bound_root) if bound_root is not None else None
-    with _bound_io(store, "readwrite" if bound_write else "read"):
+    with _bound_io(store, "readwrite" if bound_write else "read",
+                   bound_method):
         reports = [_execute(s, compute_bound) for s in scenarios]
     return reports, (store.stats if store is not None else CacheStats())
 
@@ -452,8 +499,10 @@ def _execute_stacked(scenarios, compute_bound: bool) -> list:
     reports = []
     for scenario, (network, _policy, requests, _h), result in zip(
             scenarios, jobs, stacked):
+        meta = {"kernel": kernel.active_kernel()}
         if compute_bound:
             bound = _instance_bound(scenario, network, requests)
+            meta["bound_method"] = _BOUND_IO[3]  # parity with _execute
         else:
             bound = math.nan
         arrivals = {r.rid: r.arrival for r in requests}
@@ -476,7 +525,7 @@ def _execute_stacked(scenarios, compute_bound: bool) -> list:
             engine=result.engine,
             wall_time=time.perf_counter() - t0,
             engine_time=engine_time,
-            meta={"kernel": kernel.active_kernel()},
+            meta=meta,
         ))
     return reports
 
@@ -490,7 +539,8 @@ class BatchResult(list):
 
 def run_batch(scenarios, workers: int | None = None, *,
               cache: str | None = None, cache_dir=None,
-              compute_bound: bool = True) -> BatchResult:
+              compute_bound: bool = True,
+              bound_method: str = "maxflow") -> BatchResult:
     """Run many scenarios, optionally over a process pool.
 
     Results come back in input order and are bit-identical to the serial
@@ -533,13 +583,15 @@ def run_batch(scenarios, workers: int | None = None, *,
         s if isinstance(s, Scenario) else Scenario.from_dict(s)
         for s in scenarios
     ]
+    _check_bound_method(bound_method)
     mode, store = _open_cache(cache, cache_dir)
     results: list = [None] * len(scenarios)
     pending = list(range(len(scenarios)))
     if store is not None:
         pending = []
         for i, scenario in enumerate(scenarios):
-            report = store.load(scenario, require_bound=compute_bound)
+            report = store.load(scenario, require_bound=compute_bound,
+                                bound_method=bound_method)
             if report is not None:
                 results[i] = report
             else:
@@ -586,7 +638,7 @@ def run_batch(scenarios, workers: int | None = None, *,
 
     bound_root = str(store.root) if store is not None else None
     bound_write = mode == "readwrite"
-    with _bound_io(store, mode):
+    with _bound_io(store, mode, bound_method):
         if stacked:
             for i, report in zip(
                     stacked,
@@ -621,7 +673,8 @@ def run_batch(scenarios, workers: int | None = None, *,
                 chunk_results = pool.map(
                     _run_chunk,
                     [([scenarios[i] for i in chunk], compute_bound,
-                      bound_root, bound_write, kernel.active_kernel())
+                      bound_root, bound_write, kernel.active_kernel(),
+                      bound_method)
                      for chunk in chunks])
                 for chunk, (reports, bound_stats) in zip(chunks,
                                                          chunk_results):

@@ -51,6 +51,7 @@ class QueueWorker:
                  heartbeat_interval: float | None = None,
                  workers: int | None = None, cache: str | None = None,
                  cache_dir=None, compute_bound: bool = True,
+                 bound_method: str = "maxflow",
                  clock=time.time, sleep=time.sleep,
                  crash_after: int | None = None, crash_mode: str = "raise",
                  log=None):
@@ -64,12 +65,14 @@ class QueueWorker:
         self.cache = cache
         self.cache_dir = cache_dir
         self.compute_bound = compute_bound
+        self.bound_method = bound_method
         self.clock = clock
         self.sleep = sleep
         self.crash_after = crash_after
         self.crash_mode = crash_mode
         self.log = log or (lambda message: None)
         self.chunks_done = 0
+        self._heartbeat_thread = None
 
     # -- one scheduling round --------------------------------------------
 
@@ -131,7 +134,8 @@ class QueueWorker:
                 self._crash(scenarios)
             reports = run_batch(scenarios, workers=self.workers,
                                 cache=self.cache, cache_dir=self.cache_dir,
-                                compute_bound=self.compute_bound)
+                                compute_bound=self.compute_bound,
+                                bound_method=self.bound_method)
             self.queue.complete(manifest, reports)
             self.chunks_done += 1
             self.log(f"worker {self.worker_id}: completed {chunk}")
@@ -155,7 +159,8 @@ class QueueWorker:
         if count:
             run_batch(scenarios[:count], workers=self.workers,
                       cache=self.cache, cache_dir=self.cache_dir,
-                      compute_bound=self.compute_bound)
+                      compute_bound=self.compute_bound,
+                      bound_method=self.bound_method)
         self.log(f"worker {self.worker_id}: crashing after {count} "
                  "scenario(s)")
         if self.crash_mode == "exit":
@@ -171,12 +176,18 @@ class QueueWorker:
         def beat():
             while not stop.wait(self.heartbeat_interval):
                 try:
-                    self.queue.heartbeat(chunk, self.worker_id,
-                                         clock=self.clock)
+                    owned = self.queue.heartbeat(chunk, self.worker_id,
+                                                 clock=self.clock)
                 except OSError:
-                    pass  # disk hiccup: the lease just ages one interval
+                    continue  # disk hiccup: the lease ages one interval
+                if not owned:
+                    # the lease was requeued (false expiry) and possibly
+                    # reclaimed by another worker -- beating on would stomp
+                    # the new claimant's lease, so stand down for good
+                    break
 
         thread = threading.Thread(
             target=beat, name=f"heartbeat-{chunk}", daemon=True)
         thread.start()
+        self._heartbeat_thread = thread
         return stop

@@ -196,7 +196,8 @@ def _scenario(args, algorithm: str) -> Scenario:
     )
 
 
-def _scoreboard_rows(scenarios, network, cache=None) -> list:
+def _scoreboard_rows(scenarios, network, cache=None,
+                     bound_method: str = "maxflow") -> list:
     """``[name, throughput | "n/a (reason)"]`` rows plus the bound row.
 
     Capability checks from the registry decide the n/a rows; anything
@@ -208,7 +209,7 @@ def _scoreboard_rows(scenarios, network, cache=None) -> list:
         if reason is not None:
             rows.append([scenario.algorithm.name, f"n/a ({reason})"])
             continue
-        report = run(scenario, cache=cache)
+        report = run(scenario, cache=cache, bound_method=bound_method)
         rows.append([scenario.algorithm.name, report.throughput])
         bound = report.bound
     if bound is None:  # every algorithm was unavailable
@@ -219,7 +220,8 @@ def _scoreboard_rows(scenarios, network, cache=None) -> list:
             from repro.baselines.offline import offline_bound
 
             _, requests = scenario.build_instance(network)
-            bound = offline_bound(network, requests, scenario.horizon)
+            bound = offline_bound(network, requests, scenario.horizon,
+                                  method=bound_method)
     rows.append(["offline bound", bound if bound is not None else "n/a"])
     return rows
 
@@ -234,7 +236,8 @@ def cmd_demo(args) -> int:
         for name in ("rand", "greedy", "ntg")
     ]
     print(format_table(["algorithm", "throughput"],
-                       _scoreboard_rows(scenarios, network, cache=args.cache),
+                       _scoreboard_rows(scenarios, network, cache=args.cache,
+                                        bound_method=args.bound),
                        title=f"demo on {network} ({workload})"))
     return 0
 
@@ -257,7 +260,7 @@ def cmd_route(args) -> int:
         scenario = _scenario(args, args.algorithm)
     else:
         raise SystemExit("route: an algorithm name or --spec is required")
-    report = run(scenario, cache=args.cache)
+    report = run(scenario, cache=args.cache, bound_method=args.bound)
     print(format_table(
         ["algorithm", "requests", "throughput", "bound", "ratio", "engine"],
         [[scenario.algorithm.name, report.requests, report.throughput,
@@ -271,7 +274,8 @@ def cmd_compare(args) -> int:
     scenarios = [_scenario(args, name) for name in args.algorithms]
     network = scenarios[0].network.build()
     print(format_table(["algorithm", "throughput"],
-                       _scoreboard_rows(scenarios, network, cache=args.cache),
+                       _scoreboard_rows(scenarios, network, cache=args.cache,
+                                        bound_method=args.bound),
                        title=f"{network}"))
     return 0
 
@@ -366,7 +370,7 @@ def cmd_sweep(args) -> int:
                 "engine); re-plan with --emit-shards to change them")
         manifest = load_manifest(spec_data)
         reports = run_shard(manifest, out=args.out, workers=args.workers,
-                            cache=args.cache)
+                            cache=args.cache, bound_method=args.bound)
         if args.out:
             print(f"shard {manifest['shard_index']}/{manifest['n_shards']} "
                   f"of batch {manifest['batch_digest']}: "
@@ -409,7 +413,7 @@ def cmd_sweep(args) -> int:
             return 0
         manifest = manifests[args.shard_index]
         reports = run_shard(manifest, out=args.out, workers=args.workers,
-                            cache=args.cache)
+                            cache=args.cache, bound_method=args.bound)
         print(f"shard {args.shard_index}/{args.shards} of batch "
               f"{manifest['batch_digest']}: {len(reports)} report(s) "
               f"-> {args.out}")
@@ -419,7 +423,7 @@ def cmd_sweep(args) -> int:
 
     runnable, rows = _runnable_scenarios(scenarios)
     reports = run_batch([s for _, s in runnable], workers=args.workers,
-                        cache=args.cache)
+                        cache=args.cache, bound_method=args.bound)
     for (i, scenario), report in zip(runnable, reports):
         rows[i] = _report_row(report)
     print(format_table(
@@ -515,6 +519,7 @@ def cmd_work(args) -> int:
         poll=args.poll,
         workers=args.workers,
         cache=args.cache,
+        bound_method=args.bound,
         crash_after=crash_after,
         crash_mode="exit",
         log=lambda message: print(message, flush=True),
@@ -615,6 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
         "REPRO_CACHE env var (default ~/.cache/repro).  Default mode: "
         "readwrite when REPRO_CACHE is set, else off",
     )
+    from repro.api.run import BOUND_METHODS
+
+    bound_kwargs = dict(
+        choices=BOUND_METHODS, default="maxflow",
+        help="offline bound the ratios divide by (default maxflow; see "
+        "benchmarks/README.md for tightness vs cost)",
+    )
 
     p = sub.add_parser("demo", help="quick scoreboard on a line")
     p.add_argument("-n", type=int, default=64)
@@ -624,6 +636,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--algorithm-arg", action="append", metavar="KEY=VALUE")
     p.add_argument("--engine", **engine_kwargs)
     p.add_argument("--cache", **cache_kwargs)
+    p.add_argument("--bound", **bound_kwargs)
     p.set_defaults(fn=cmd_demo)
 
     common = argparse.ArgumentParser(add_help=False)
@@ -652,6 +665,7 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--seed", type=int, default=_COMMON_DEFAULTS["seed"])
     common.add_argument("--engine", **engine_kwargs)
     common.add_argument("--cache", **cache_kwargs)
+    common.add_argument("--bound", **bound_kwargs)
 
     p = sub.add_parser("route", parents=[common],
                        help="run one algorithm or a --spec file")
@@ -683,6 +697,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "running (one JSON file per shard, for other hosts)")
     p.add_argument("--engine", **engine_kwargs)
     p.add_argument("--cache", **cache_kwargs)
+    p.add_argument("--bound", **bound_kwargs)
     p.set_defaults(fn=cmd_sweep)
 
     p = sub.add_parser(
@@ -727,6 +742,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=None,
                    help="process-pool width inside each chunk")
     p.add_argument("--cache", **cache_kwargs)
+    p.add_argument("--bound", **bound_kwargs)
     p.set_defaults(fn=cmd_work)
 
     p = sub.add_parser(

@@ -18,6 +18,7 @@ Requiring one unit of capacity per track is why the algorithm needs
 from repro.api.registry import planner_adapter, register_algorithm
 from repro.core.deterministic.framework import DeterministicRouter
 from repro.core.deterministic import variants as _variants  # registers itself
+from repro.core.deterministic import frontier as _frontier  # registers det2
 from repro.network.topology import grid_geometry_reason
 
 __all__ = ["DeterministicRouter"]

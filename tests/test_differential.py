@@ -123,7 +123,7 @@ def workloads(draw, horizon: int):
 @st.composite
 def algorithms(draw):
     name = draw(st.sampled_from(
-        ("greedy", "ntg", "det", "bufferless", "ntg-model2", "edd")))
+        ("greedy", "ntg", "det", "det2", "bufferless", "ntg-model2", "edd")))
     if name == "greedy":
         priority = draw(st.sampled_from(("fifo", "lifo", "longest")))
         return {"name": "greedy", "params": {"priority": priority}}
@@ -360,6 +360,31 @@ def test_batch_engine_cache_stats_identical(batch, tmp_path_factory):
     assert replay.cache_stats.hits == len(batch)
     for a, b in zip(replay, serial):
         assert_reports_identical(a, b, "cross-engine cache replay")
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.filter_too_much])
+@given(scenarios())
+def test_cd_bound_valid_and_no_looser_than_maxflow(scenario):
+    """The C+D bound is a true offline bound on every fuzz draw
+    (``cd >= throughput`` -- no online algorithm may beat it) and by
+    construction never looser than the max-flow relaxation."""
+    hypothesis.assume(runnable(scenario))
+    report = run(scenario, bound_method="cd")
+    assert report.meta["bound_method"] == "cd"
+    assert report.bound >= report.throughput, (
+        f"cd bound {report.bound} below achieved throughput "
+        f"{report.throughput} for {scenario}")
+    from repro.baselines.offline import offline_bound
+
+    network = scenario.network.build()
+    _, requests = scenario.build_instance(network)
+    maxflow = offline_bound(network, requests, scenario.horizon,
+                            method="maxflow")
+    assert report.bound <= maxflow, (
+        f"cd bound {report.bound} looser than maxflow {maxflow} "
+        f"for {scenario}")
 
 
 @settings(max_examples=15, deadline=None,

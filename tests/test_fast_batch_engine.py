@@ -288,9 +288,9 @@ class TestBoundDiskCache:
         calls = []
         original = offline.offline_bound
 
-        def counting(network, requests, horizon):
+        def counting(network, requests, horizon, method="maxflow"):
             calls.append(1)
-            return original(network, requests, horizon)
+            return original(network, requests, horizon, method=method)
 
         monkeypatch.setattr(offline, "offline_bound", counting)
         run_module._bound_cache.clear()

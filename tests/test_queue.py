@@ -143,6 +143,64 @@ class TestLeaseStateMachine:
         assert (queue.pending_dir / "chunk_00000.json").exists()
         assert not queue._lease_path("chunk_00000").exists()
 
+    def test_heartbeat_is_noop_without_lease_ownership(self, tmp_path):
+        """After a false expiry and requeue, the old worker's heartbeat
+        must not stomp the new claimant's lease (or resurrect a lease
+        for a chunk it no longer holds)."""
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        queue.claim("a", clock=clock)
+        assert queue.heartbeat("chunk_00000", "a", clock=clock) is True
+        # a stalls long enough to be presumed dead; its chunk is requeued
+        clock.advance(100)
+        assert queue.requeue_expired(ttl=8, clock=clock) == ["chunk_00000"]
+        assert queue.heartbeat("chunk_00000", "a", clock=clock) is False
+        assert not queue._lease_path("chunk_00000").exists()  # no resurrection
+        # b reclaims; a's late heartbeats leave b's lease untouched
+        assert queue.claim("b", clock=clock)["shard_index"] == 0
+        before = queue._read_lease("chunk_00000")
+        clock.advance(5)
+        assert queue.heartbeat("chunk_00000", "a", clock=clock) is False
+        assert queue._read_lease("chunk_00000") == before
+        assert queue._read_lease("chunk_00000")["worker"] == "b"
+        # the rightful owner still refreshes normally
+        assert queue.heartbeat("chunk_00000", "b", clock=clock) is True
+        assert queue._read_lease("chunk_00000")["heartbeat_at"] == clock.now
+
+    def test_heartbeat_thread_stands_down_after_lease_loss(self, tmp_path):
+        """The service's heartbeat thread exits for good once its lease
+        is gone, instead of beating over the new claimant forever."""
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock()
+        queue.claim("a", clock=clock)
+        worker = make_worker(queue, "a", clock, heartbeat_interval=0.05)
+        stop = worker._start_heartbeat("chunk_00000")
+        try:
+            # steal the lease before the thread's first beat fires
+            clock.advance(100)
+            queue.requeue_expired(ttl=8, clock=clock)
+            queue.claim("b", clock=clock)
+            worker._heartbeat_thread.join(timeout=5.0)
+            assert not worker._heartbeat_thread.is_alive()
+            assert queue._read_lease("chunk_00000")["worker"] == "b"
+        finally:
+            stop.set()
+
+    def test_backwards_clock_step_counts_as_expired(self, tmp_path):
+        """A wall clock stepping backwards leaves the lease heartbeat
+        future-dated; trusting it would hold a dead worker's lease alive
+        past any TTL, so it must classify as stale (requeue is always
+        safe, a live owner merely reruns)."""
+        queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
+        clock = FakeClock(start=1000.0)
+        queue.claim("a", clock=clock)
+        clock.now = 500.0  # NTP / VM-restore style backwards jump
+        status = queue.status(ttl=10_000, clock=clock)
+        assert status.chunks_expired == 1 and status.chunks_active == 0
+        assert queue.requeue_expired(ttl=10_000, clock=clock) \
+            == ["chunk_00000"]
+        assert (queue.pending_dir / "chunk_00000.json").exists()
+
     def test_missing_lease_counts_as_expired(self, tmp_path):
         queue = WorkQueue.create(tmp_path / "q", small_batch(), chunk_size=2)
         clock = FakeClock()
